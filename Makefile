@@ -1,0 +1,25 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-paper examples demo clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_PAPER_SCALE=1 pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; python $$f; echo; done
+
+demo:
+	python -m repro demo
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache benchmarks/results .hypothesis

@@ -1,0 +1,86 @@
+"""Ablation — prime vs non-prime sampling gaps under cyclic allocation.
+
+The paper mandates prime sampling gaps (Section II.B.1) so cyclic
+allocation patterns cannot alias with the gap.  This bench constructs
+the adversarial case directly: objects allocated in a strict cycle of
+``k`` roles where only one role is ever shared between threads.  A
+composite gap sharing a factor with ``k`` samples a biased subset of
+roles and mis-estimates the shared volume; the nearest prime gap keeps
+the estimate honest.
+"""
+
+import numpy as np
+from common import record_table
+
+from repro.analysis.report import Table
+from repro.core.accuracy import accuracy
+from repro.core.sampling import SamplingPolicy
+from repro.core.tcm import build_tcm
+from repro.heap.heap import GlobalObjectSpace
+
+CYCLE = 4  # allocation cycle: roles 0..3, role 0 shared, others private
+N_GROUPS = 256
+OBJ_SIZE = 64
+
+
+def build_population():
+    gos = GlobalObjectSpace()
+    cls = gos.registry.define("Cyclic", OBJ_SIZE)
+    shared, private = [], []
+    for _ in range(N_GROUPS):
+        shared.append(gos.allocate(cls, 0))          # role 0: shared
+        for _ in range(CYCLE - 1):
+            private.append(gos.allocate(cls, 0))     # roles 1..3: private
+    return gos, cls, shared, private
+
+
+def measure(nominal_gap: int, use_prime: bool) -> float:
+    """Accuracy of the estimated two-thread TCM vs truth, when both
+    threads access all shared objects and thread 0 additionally touches
+    the private ones."""
+    gos, cls, shared, private = build_population()
+    policy = SamplingPolicy(use_prime_gaps=use_prime)
+    policy.set_nominal_gap(cls, nominal_gap)
+
+    def entries():
+        for o in shared:
+            if policy.is_sampled(o):
+                yield 0, o.obj_id, policy.scaled_bytes(o)
+                yield 1, o.obj_id, policy.scaled_bytes(o)
+        for o in private:
+            if policy.is_sampled(o):
+                yield 0, o.obj_id, policy.scaled_bytes(o)
+
+    estimated = build_tcm(entries(), 2)
+    truth = np.zeros((2, 2))
+    truth[0, 1] = truth[1, 0] = N_GROUPS * OBJ_SIZE
+    return accuracy(estimated, truth, "abs")
+
+
+def test_ablation_prime_gaps(benchmark):
+    def run():
+        rows = []
+        for nominal in (4, 8, 16, 32):
+            composite = measure(nominal, use_prime=False)
+            prime = measure(nominal, use_prime=True)
+            rows.append((nominal, composite, prime))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: prime vs composite sampling gaps under a 4-cycle "
+        "allocation pattern (shared-volume estimation accuracy)",
+        ["Nominal gap", "Composite gap accuracy", "Prime gap accuracy"],
+    )
+    worst_composite = 1.0
+    for nominal, composite, prime in rows:
+        table.add_row(nominal, f"{composite * 100:.1f}%", f"{prime * 100:.1f}%")
+        worst_composite = min(worst_composite, composite)
+        # Prime gaps stay accurate at every nominal.
+        assert prime > 0.85, (nominal, prime)
+    record_table("ablation_prime_gaps", table.render())
+
+    # The composite gap must exhibit the aliasing pathology somewhere
+    # (gap 4 on a 4-cycle samples exactly one role: estimate off by the
+    # role imbalance), while primes never collapse.
+    assert worst_composite < 0.7, rows

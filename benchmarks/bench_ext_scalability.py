@@ -1,0 +1,83 @@
+"""Extension — scale-out and the looming TCM cost.
+
+Quantifies the paper's Section IV.A remark: "for the same dataset size,
+if the DJVM scales out with more nodes, each iteration will finish
+sooner making the TCM construction time apparent.  Adaptive sampling is
+useful in this case to lower such overhead by tuning down the sampling
+rate on demand."
+
+Barnes-Hut at a fixed problem size across 2/4/8/16 nodes, full-sampling
+correlation tracking: execution time falls with node count while the
+centralized daemon's cost stays flat — so its *relative* weight grows —
+and sampling at 4X collapses it again.
+"""
+
+from common import PAPER_SCALE, record_table, scaled
+
+from repro.analysis import experiments as E
+from repro.analysis.report import Table
+from repro.workloads import BarnesHutWorkload
+
+NODE_COUNTS = (2, 4, 8, 16)
+
+
+def factory(n_nodes):
+    # Threads match nodes x2 so every configuration is fully loaded.
+    return lambda: BarnesHutWorkload(
+        n_bodies=scaled(4096, 1024),
+        rounds=scaled(5, 3),
+        n_threads=2 * n_nodes,
+        seed=1,
+    )
+
+
+def run_experiment():
+    rows = []
+    for n_nodes in NODE_COUNTS:
+        full = E.run_with_correlation(factory(n_nodes), n_nodes, rate="full")
+        full.suite.collector.tcm()
+        sampled = E.run_with_correlation(factory(n_nodes), n_nodes, rate=4)
+        sampled.suite.collector.tcm()
+        exec_ms = full.result.execution_time_ms
+        tcm_full = full.suite.collector.tcm_compute_ms
+        tcm_sampled = sampled.suite.collector.tcm_compute_ms
+        rows.append(
+            (
+                n_nodes,
+                exec_ms,
+                tcm_full,
+                tcm_full / exec_ms,
+                tcm_sampled,
+                tcm_sampled / sampled.result.execution_time_ms,
+            )
+        )
+    return rows
+
+
+def test_ext_scalability(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(
+        "Extension: scale-out makes the TCM daemon 'apparent' "
+        "(Barnes-Hut, fixed size, threads = 2 x nodes)"
+        + ("" if PAPER_SCALE else "  [reduced scale]"),
+        ["Nodes", "Exec (ms)", "TCM full (ms)", "TCM/exec full",
+         "TCM 4X (ms)", "TCM/exec 4X"],
+    )
+    for n, exec_ms, tf, rf, ts, rs in rows:
+        table.add_row(
+            n, f"{exec_ms:.0f}", f"{tf:.0f}", f"{rf * 100:.1f}%",
+            f"{ts:.0f}", f"{rs * 100:.1f}%",
+        )
+    record_table("ext_scalability", table.render())
+
+    execs = [r[1] for r in rows]
+    ratios_full = [r[3] for r in rows]
+    ratios_sampled = [r[5] for r in rows]
+    # Scale-out shortens execution (sublinearly: more threads on the same
+    # dataset also means more cross-thread sharing and faults)...
+    assert execs[-1] < 0.7 * execs[0]
+    # ...so the (flat-ish) daemon cost looms larger relative to it...
+    assert ratios_full[-1] > 2 * ratios_full[0]
+    # ...and sampling at 4X is the remedy, everywhere.
+    for rf, rs in zip(ratios_full, ratios_sampled):
+        assert rs < 0.4 * rf

@@ -1,0 +1,93 @@
+"""Fig. 9 — accuracy of correlation tracking with adaptive object
+sampling, for SOR / Barnes-Hut / Water-Spatial.
+
+Per the paper: 16 threads per application, rates halving from 512X down
+to 1X; four curves per panel — absolute accuracy (vs the full-sampling
+map) and relative accuracy (vs the next finer rate), each under both the
+ABS (formula 2) and EUC (formula 1) distance metrics.
+
+Shape expectations (paper): accuracy at least ~95% at nearly all rates,
+ABS more stable than (or comparable to) EUC, and relative accuracy
+tracking absolute accuracy closely enough to drive rate adaptation.
+"""
+
+from common import PAPER_SCALE, record_table, workload_factories
+
+from repro.analysis import experiments as E
+from repro.analysis.paper import FIG9_MIN_ACCURACY_AT_4X
+from repro.analysis.report import Table
+
+RATES = (512, 256, 128, 64, 32, 16, 8, 4, 2, 1)
+
+
+def run_experiment():
+    results = {}
+    for name, factory in workload_factories(n_threads=16):
+        results[name] = E.accuracy_curves(factory, n_nodes=8, rates=RATES)
+    return results
+
+
+def render(results) -> str:
+    blocks = []
+    for name, curves in results.items():
+        table = Table(
+            f"Fig. 9 ({name}): correlation tracking accuracy vs sampling rate"
+            + ("" if PAPER_SCALE else "  [reduced scale]"),
+            ["Rate", "Absolute/ABS", "Relative/ABS", "Absolute/EUC", "Relative/EUC"],
+        )
+        for i, rate in enumerate(curves.rates):
+            table.add_row(
+                f"{rate:g}X",
+                f"{curves.absolute_abs[i] * 100:.1f}%",
+                f"{curves.relative_abs[i] * 100:.1f}%",
+                f"{curves.absolute_euc[i] * 100:.1f}%",
+                f"{curves.relative_euc[i] * 100:.1f}%",
+            )
+        blocks.append(table.render())
+    return "\n\n".join(blocks)
+
+
+def emit_figures(results) -> None:
+    """Write one SVG panel per workload (the actual Fig. 9 curves)."""
+    from pathlib import Path
+
+    from repro.analysis.svgplot import line_chart, save_svg
+
+    for name, curves in results.items():
+        svg = line_chart(
+            {
+                "Absolute/ABS": curves.absolute_abs,
+                "Relative/ABS": curves.relative_abs,
+                "Absolute/EUC": curves.absolute_euc,
+                "Relative/EUC": curves.relative_euc,
+            },
+            [f"{r:g}X" for r in curves.rates],
+            title=f"Fig. 9: correlation tracking accuracy — {name}",
+            y_label="accuracy",
+            y_range=(0.5, 1.0),  # the paper's 50-100% axis
+        )
+        slug = name.lower().replace("-", "_")
+        save_svg(svg, Path(__file__).parent / "results" / f"fig9_{slug}.svg")
+
+
+def test_fig9_accuracy(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_table("fig9_accuracy", render(results))
+    emit_figures(results)
+
+    for name, curves in results.items():
+        by_rate = dict(zip(curves.rates, curves.absolute_abs))
+        # The paper's headline: >= ~95% accuracy at 4X and finer.
+        for rate in (512, 256, 128, 64, 32, 16, 8, 4):
+            assert by_rate[rate] >= FIG9_MIN_ACCURACY_AT_4X - 0.03, (
+                name,
+                rate,
+                by_rate[rate],
+            )
+        # Accuracy does not collapse even at 1X (paper floor ~85-95%).
+        assert by_rate[1] > 0.75, (name, by_rate[1])
+        # Finer rates are at least as accurate as the coarsest (trend).
+        assert by_rate[256] >= by_rate[1] - 0.02, name
+        # Relative accuracy is a usable proxy for absolute accuracy.
+        for rel, ab in zip(curves.relative_abs, curves.absolute_abs):
+            assert abs(rel - ab) < 0.2, name

@@ -1,0 +1,52 @@
+"""Table I — application benchmark characteristics.
+
+Regenerates the descriptive table from the workload implementations and
+checks each row against the paper's characterization.
+"""
+
+from common import PAPER_SCALE, record_table, workload_factories
+
+from repro.analysis.paper import TABLE1
+from repro.analysis.report import Table
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+
+
+def build_table() -> Table:
+    table = Table(
+        "Table I: application benchmark characteristics"
+        + ("" if PAPER_SCALE else "  [reduced scale]"),
+        ["Benchmark", "Data set", "Rounds", "Granularity", "Object size", "Paper object size"],
+    )
+    for name, factory in workload_factories(n_threads=8):
+        wl = factory()
+        spec = wl.spec()
+        table.add_row(
+            spec.name,
+            spec.data_set,
+            spec.rounds,
+            spec.granularity,
+            spec.object_size,
+            TABLE1[name]["object_size"],
+        )
+    return table
+
+
+def test_table1_characteristics(benchmark):
+    def run():
+        table = build_table()
+        # Shape checks: granularity labels match the paper's.
+        for name, factory in workload_factories(8):
+            assert factory().spec().granularity == TABLE1[name]["granularity"]
+        # Object-size regimes: verify against actual allocations.
+        djvm = DJVM(8, costs=CostModel.fast_test())
+        from repro.workloads import BarnesHutWorkload
+
+        bh = BarnesHutWorkload(n_bodies=64, rounds=1, n_threads=8)
+        bh.build(djvm)
+        body = djvm.gos.get(bh.body_ids[0])
+        assert body.size_bytes < 100  # "each body less than 100 bytes"
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("table1_characteristics", table.render())

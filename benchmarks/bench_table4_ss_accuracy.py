@@ -1,0 +1,91 @@
+"""Table IV — accuracy of the sticky-set footprint estimate.
+
+Paper methodology, reproduced: 8 threads per application, the sticky-set
+footprint profiled via object sampling at 4X, compared per class against
+the footprint obtained at full sampling (itself still an estimate — the
+paper notes absolute truth would require actually migrating threads).
+
+Shape expectations (paper): SOR perfect (its rows are effectively always
+fully sampled), Barnes-Hut and Water-Spatial classes all above ~92%.
+"""
+
+from common import PAPER_SCALE, record_table, workload_factories
+
+from repro.analysis import experiments as E
+from repro.analysis.paper import TABLE4
+from repro.analysis.report import Table
+
+
+def average_footprints(run) -> dict[str, float]:
+    """Per-class footprint averaged over all threads' intervals."""
+    out: dict[str, list[float]] = {}
+    fp_profiler = run.suite.footprinter
+    for t in range(len(run.djvm.threads)):
+        for cname, value in fp_profiler.average_footprint(t).items():
+            out.setdefault(cname, []).append(value)
+    return {c: sum(v) / len(v) for c, v in out.items()}
+
+
+def run_experiment():
+    rows = []
+    measured = {}
+    for name, factory in workload_factories(n_threads=8):
+        full = average_footprints(
+            E.run_with_sticky_profiling(factory, 8, rate="full", stack=False)
+        )
+        sampled = average_footprints(
+            E.run_with_sticky_profiling(factory, 8, rate=4, stack=False)
+        )
+        per_class = {}
+        for cname, full_bytes in sorted(full.items()):
+            if full_bytes <= 0:
+                continue
+            diff = abs(sampled.get(cname, 0.0) - full_bytes)
+            acc = max(0.0, 1 - diff / full_bytes)
+            per_class[cname] = (full_bytes, diff, acc)
+            paper_acc = TABLE4.get(name, {}).get(cname, {}).get("accuracy_pct")
+            rows.append(
+                (
+                    name,
+                    cname,
+                    f"{full_bytes:.0f}",
+                    f"{diff:.0f}",
+                    f"{acc * 100:.2f}%",
+                    f"{paper_acc:.2f}%" if paper_acc is not None else "-",
+                )
+            )
+        measured[name] = per_class
+    table = Table(
+        "Table IV: accuracy of sticky-set footprint (4X vs full sampling)"
+        + ("" if PAPER_SCALE else "  [reduced scale]"),
+        ["Benchmark", "Class", "Full-sampling SS (bytes)", "Diff @4X", "Accuracy", "Paper"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    return table, measured
+
+
+def test_table4_ss_accuracy(benchmark):
+    table, measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_table("table4_ss_accuracy", table.render())
+
+    # SOR: rows exceed the page size, hence effectively full sampling at
+    # 4X — the footprint must be (near-)perfect.
+    sor = measured["SOR"]["double[]"]
+    assert sor[2] > 0.99, sor
+
+    # The classes the paper reports stay above ~85% (its floor is 92.76%;
+    # we allow a margin for the reduced problem sizes, whose smaller
+    # sticky populations carry more estimator variance).  Classes the
+    # paper omits (e.g. Water-Spatial's tiny WSCell population, where a
+    # 4X gap leaves a single-digit sample count) are reported unasserted.
+    for app in ("Barnes-Hut", "Water-Spatial"):
+        assert measured[app], f"{app} produced no footprint classes"
+        for cname in TABLE4.get(app, {}):
+            if cname not in measured[app]:
+                continue
+            full_bytes, diff, acc = measured[app][cname]
+            assert acc > 0.85, (app, cname, acc)
+
+    # The BH footprint must cover the paper's classes.
+    assert {"Body", "Vect3"} <= set(measured["Barnes-Hut"])

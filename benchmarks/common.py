@@ -1,0 +1,76 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, records a
+paper-style text rendition via :func:`record_table` (written to
+``benchmarks/results/`` and echoed into the pytest terminal summary by
+``conftest.py``), and asserts the *shape* properties the paper reports
+(who wins, by roughly what factor) rather than absolute milliseconds.
+
+Scale: the default configurations are trimmed so the whole suite runs in
+minutes on a laptop.  Set ``REPRO_PAPER_SCALE=1`` to run every experiment
+at the paper's full problem sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: tables recorded during this pytest session, echoed at summary time.
+RECORDED: list[tuple[str, str]] = []
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0", "false")
+
+
+def record_table(name: str, text: str) -> None:
+    """Persist one rendered experiment table and queue it for display."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    RECORDED.append((name, text))
+
+
+def scaled(paper_value: int, reduced_value: int) -> int:
+    """Pick a problem-size parameter by scale mode."""
+    return paper_value if PAPER_SCALE else reduced_value
+
+
+# ---------------------------------------------------------------------------
+# workload configurations per scale mode
+# ---------------------------------------------------------------------------
+
+
+def sor_config(n_threads: int) -> dict:
+    return {
+        "n": scaled(2048, 1024),
+        "rounds": scaled(10, 4),
+        "n_threads": n_threads,
+    }
+
+
+def bh_config(n_threads: int) -> dict:
+    return {
+        "n_bodies": scaled(4096, 2048),
+        "rounds": scaled(5, 3),
+        "n_threads": n_threads,
+    }
+
+
+def ws_config(n_threads: int) -> dict:
+    return {
+        "n_molecules": scaled(512, 384),
+        "rounds": scaled(5, 3),
+        "n_threads": n_threads,
+    }
+
+
+def workload_factories(n_threads: int):
+    """(name, factory) for the three paper benchmarks at bench scale."""
+    from repro.workloads import BarnesHutWorkload, SORWorkload, WaterSpatialWorkload
+
+    return [
+        ("SOR", lambda: SORWorkload(**sor_config(n_threads))),
+        ("Barnes-Hut", lambda: BarnesHutWorkload(**bh_config(n_threads))),
+        ("Water-Spatial", lambda: WaterSpatialWorkload(**ws_config(n_threads))),
+    ]

@@ -1,0 +1,23 @@
+"""Benchmark-session plumbing: echo every recorded experiment table into
+the terminal summary (so ``pytest benchmarks/ --benchmark-only | tee``
+captures the paper-style tables alongside pytest-benchmark's timings)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RECORDED  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RECORDED:
+        return
+    terminalreporter.section("reproduced paper tables & figures")
+    for name, text in RECORDED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {name} ===")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,79 @@
+"""repro — reproduction of *Adaptive Sampling-Based Profiling Techniques
+for Optimizing the Distributed JVM Runtime* (Lam, Luo & Wang, IPDPS 2010).
+
+The package simulates a JESSICA2-style distributed JVM — cluster, global
+object space under home-based lazy release consistency, Java threads
+with stacks, thread migration — and implements the paper's two adaptive
+sampling-based profilers on top:
+
+* fine-grained active **correlation tracking** via adaptive class-level
+  object sampling (thread correlation maps), and
+* **sticky-set profiling** via repeated object sampling plus adaptive
+  stack sampling (migration cost modeling and prefetch resolution).
+
+Quickstart::
+
+    from repro import DJVM, ProfilerSuite
+    from repro.workloads import SORWorkload
+
+    wl = SORWorkload(n=256, rounds=4, n_threads=8)
+    djvm = DJVM(n_nodes=8)
+    wl.build(djvm)
+    suite = ProfilerSuite(djvm)
+    suite.set_rate_all(4)
+    result = djvm.run(wl.programs())
+    print(result.summary())
+    tcm = suite.tcm()
+"""
+
+from repro._version import __version__
+from repro.sim import Cluster, CostModel, Network
+from repro.heap import GlobalObjectSpace, JClass
+from repro.dsm import HomeBasedLRC
+from repro.runtime import DJVM, MigrationEngine, MigrationPlan, ProgramBuilder, RunResult, SimThread
+from repro.core import (
+    AccessProfiler,
+    AdaptiveRateController,
+    CorrelationCollector,
+    MigrationCostModel,
+    OfflineRateSearch,
+    ProfilerSuite,
+    SamplingPolicy,
+    StackSampler,
+    StickySetFootprinter,
+    absolute_error,
+    accuracy,
+    build_tcm,
+    euclidean_error,
+    resolve_sticky_set,
+)
+
+__all__ = [
+    "__version__",
+    "Cluster",
+    "CostModel",
+    "Network",
+    "GlobalObjectSpace",
+    "JClass",
+    "HomeBasedLRC",
+    "DJVM",
+    "MigrationEngine",
+    "MigrationPlan",
+    "ProgramBuilder",
+    "RunResult",
+    "SimThread",
+    "AccessProfiler",
+    "AdaptiveRateController",
+    "CorrelationCollector",
+    "MigrationCostModel",
+    "OfflineRateSearch",
+    "ProfilerSuite",
+    "SamplingPolicy",
+    "StackSampler",
+    "StickySetFootprinter",
+    "absolute_error",
+    "accuracy",
+    "build_tcm",
+    "euclidean_error",
+    "resolve_sticky_set",
+]

@@ -1,0 +1,19 @@
+"""Reporting and experiment drivers: paper-style table rendering, text
+correlation-map heatmaps (Fig. 1 style), and the reusable experiment
+harnesses the benchmark suite calls into."""
+
+from repro.analysis.heatmap import render_heatmap
+from repro.analysis.report import Table, format_overhead, format_pct
+from repro.analysis.trace import ProfileTrace, record_trace
+from repro.analysis import experiments, svgplot
+
+__all__ = [
+    "render_heatmap",
+    "Table",
+    "format_overhead",
+    "format_pct",
+    "ProfileTrace",
+    "record_trace",
+    "experiments",
+    "svgplot",
+]

@@ -1,0 +1,70 @@
+"""Text rendering of correlation maps (the Fig. 1 comparison medium).
+
+A TCM renders as a character grid: darker glyphs = more shared bytes,
+normalized to the map's own peak.  Block structure (e.g. Barnes-Hut's
+two galaxies) is visible at a glance in the inherent map and washed out
+in the page-induced one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: glyph ramp, light to dark.
+RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(tcm: np.ndarray, *, width: int | None = None, title: str | None = None) -> str:
+    """Render a square matrix as an ASCII heatmap.
+
+    ``width`` downsamples to at most that many columns (block-averaged)
+    so 32-thread maps still fit a terminal.
+    """
+    m = np.asarray(tcm, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {m.shape}")
+    n = m.shape[0]
+    if width is not None and 0 < width < n:
+        # Block-average downsample.
+        edges = np.linspace(0, n, width + 1).astype(int)
+        small = np.empty((width, width))
+        for i in range(width):
+            for j in range(width):
+                block = m[edges[i] : edges[i + 1], edges[j] : edges[j + 1]]
+                small[i, j] = block.mean() if block.size else 0.0
+        m = small
+        n = width
+    peak = m.max()
+    lines = []
+    if title:
+        lines.append(title)
+    if peak <= 0:
+        lines.extend("".join(RAMP[0] for _ in range(n)) for _ in range(n))
+        return "\n".join(lines)
+    scaled = np.clip(m / peak, 0.0, 1.0)
+    idx = np.minimum((scaled * len(RAMP)).astype(int), len(RAMP) - 1)
+    for i in range(n):
+        lines.append("".join(RAMP[idx[i, j]] for j in range(n)))
+    return "\n".join(lines)
+
+
+def block_contrast(tcm: np.ndarray, groups: list[int]) -> float:
+    """Mean intra-group cell over mean inter-group cell (diagonal
+    excluded) — a scalar for "how visible is the block structure".
+    Returns ``inf`` when there is intra-group sharing but zero
+    inter-group sharing."""
+    m = np.asarray(tcm, dtype=np.float64)
+    n = m.shape[0]
+    if len(groups) != n:
+        raise ValueError(f"groups length {len(groups)} != matrix size {n}")
+    intra, inter = [], []
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            (intra if groups[i] == groups[j] else inter).append(m[i, j])
+    mean_intra = float(np.mean(intra)) if intra else 0.0
+    mean_inter = float(np.mean(inter)) if inter else 0.0
+    if mean_inter == 0.0:
+        return float("inf") if mean_intra > 0 else 1.0
+    return mean_intra / mean_inter

@@ -1,0 +1,62 @@
+"""Paper-style table rendering.
+
+The benchmark harness prints rows in the same shape as the paper's
+tables (execution time with percentage overhead in parentheses, message
+volumes with percentage of GOS traffic, ...), so EXPERIMENTS.md entries
+can be compared against the published rows line by line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_pct(value: float, *, signed: bool = True) -> str:
+    """Format a fraction as the paper's parenthetical percentage."""
+    pct = value * 100.0
+    if signed:
+        return f"({pct:+.2f}%)".replace("+", "") if pct >= 0 else f"({pct:.2f}%)"
+    return f"({pct:.2f}%)"
+
+
+def format_overhead(base_ms: float, measured_ms: float) -> str:
+    """"measured (overhead%)" — the paper's execution-time cell format."""
+    if base_ms <= 0:
+        return f"{measured_ms:.0f} (n/a)"
+    pct = (measured_ms - base_ms) / base_ms
+    return f"{measured_ms:.0f} {format_pct(pct)}"
+
+
+@dataclass
+class Table:
+    """A minimal fixed-width text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cell count must match the columns)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table as aligned text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: list[str]) -> str:
+            return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, fmt(self.columns), sep]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

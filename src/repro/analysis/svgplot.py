@@ -1,0 +1,177 @@
+"""Dependency-free SVG rendering for the paper's figures.
+
+The execution environment is offline (no matplotlib), but the
+reproduction should still ship *figures*, not just tables — Fig. 9 is a
+line chart and Fig. 1 a pair of heatmaps.  This module renders both as
+standalone SVG documents using nothing but string assembly.
+
+Only what the figures need is implemented: categorical-x line charts
+with a legend, and square matrix heatmaps with a monochrome ramp.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+#: categorical line colors (colorblind-safe-ish).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9", "#E69F00")
+DASHES = ("", "6,3", "2,2", "8,3,2,3")
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def line_chart(
+    series: dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    *,
+    title: str = "",
+    y_label: str = "",
+    y_range: tuple[float, float] = (0.0, 1.0),
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Render a categorical-x line chart (the Fig. 9 shape) as SVG.
+
+    ``series`` maps legend label -> y values (one per ``x_labels`` entry);
+    ``y_range`` fixes the y axis (the paper plots 50-100%).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x_labels)
+    for label, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {label!r} has {len(ys)} points for {n} labels")
+    lo, hi = y_range
+    if not hi > lo:
+        raise ValueError(f"invalid y range {y_range}")
+
+    margin_l, margin_r, margin_t, margin_b = 60, 160, 40, 50
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    def sx(i: int) -> float:
+        return margin_l + (plot_w * i / max(n - 1, 1))
+
+    def sy(v: float) -> float:
+        frac = (min(max(v, lo), hi) - lo) / (hi - lo)
+        return margin_t + plot_h * (1 - frac)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_esc(title)}</text>'
+        )
+    # Axes box + horizontal gridlines with y tick labels.
+    parts.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>'
+    )
+    for k in range(5 + 1):
+        v = lo + (hi - lo) * k / 5
+        y = sy(v)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" text-anchor="end">'
+            f"{v * 100:.0f}%</text>"
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {margin_t + plot_h / 2})">{_esc(y_label)}</text>'
+        )
+    # X tick labels.
+    for i, label in enumerate(x_labels):
+        parts.append(
+            f'<text x="{sx(i):.1f}" y="{margin_t + plot_h + 18}" '
+            f'text-anchor="middle">{_esc(label)}</text>'
+        )
+    # Series + legend.
+    for idx, (label, ys) in enumerate(series.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        dash = DASHES[idx % len(DASHES)]
+        points = " ".join(f"{sx(i):.1f},{sy(v):.1f}" for i, v in enumerate(ys))
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"{dash_attr}/>'
+        )
+        for i, v in enumerate(ys):
+            parts.append(
+                f'<circle cx="{sx(i):.1f}" cy="{sy(v):.1f}" r="2.5" fill="{color}"/>'
+            )
+        ly = margin_t + 16 + idx * 18
+        lx = margin_l + plot_w + 12
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 24}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"{dash_attr}/>'
+        )
+        parts.append(f'<text x="{lx + 30}" y="{ly}">{_esc(label)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    *,
+    title: str = "",
+    cell: int = 12,
+    gap: int = 1,
+) -> str:
+    """Render a square matrix as an SVG heatmap (Fig. 1 shape), darker =
+    larger, normalized to the matrix peak."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {m.shape}")
+    n = m.shape[0]
+    peak = float(m.max())
+    size = n * (cell + gap) + gap
+    title_h = 26 if title else 0
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size + title_h}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{size}" height="{size + title_h}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{size / 2}" y="16" text-anchor="middle" '
+            f'font-weight="bold">{_esc(title)}</text>'
+        )
+    for i in range(n):
+        for j in range(n):
+            frac = 0.0 if peak <= 0 else float(m[i, j]) / peak
+            shade = int(round(255 * (1 - frac)))
+            color = f"rgb({shade},{shade},{shade})"
+            x = gap + j * (cell + gap)
+            y = title_h + gap + i * (cell + gap)
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" fill="{color}"/>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: str | Path) -> Path:
+    """Write an SVG document; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg)
+    return path

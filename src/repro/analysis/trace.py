@@ -1,0 +1,235 @@
+"""Profile trace recording and offline replay.
+
+A real profiling deployment separates *collection* (cheap, online) from
+*analysis* (arbitrary, offline).  This module serializes everything the
+online profiler gathers — OAL batches, the class registry and object
+metadata needed to re-evaluate sampling decisions — into a compact JSON
+document, and replays it offline:
+
+* recompute the TCM at **any** sampling rate without re-running the
+  simulation (the same determinism the accuracy sweep exploits),
+* re-run the adaptive controller against recorded windows,
+* diff two traces (did the sharing pattern drift between runs?).
+
+Format: a single JSON object, gzip-compressed when the path ends in
+``.gz``.  Versioned for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.oal import OALBatch
+from repro.core.sampling import SamplingPolicy
+from repro.core.tcm import build_tcm
+from repro.heap.heap import GlobalObjectSpace
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class ProfileTrace:
+    """A recorded profiling session, sufficient for offline re-analysis."""
+
+    n_threads: int
+    page_size: int
+    #: class metadata: class_id -> (name, instance_size, is_array, element_size)
+    classes: dict[int, tuple[str, int, bool, int]]
+    #: per-object metadata: obj_id -> (class_id, seq, length)
+    objects: dict[int, tuple[int, int, int]]
+    #: recorded OAL batches (full-sampling logs).
+    batches: list[OALBatch]
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        gos: GlobalObjectSpace,
+        batches: Iterable[OALBatch],
+        n_threads: int,
+        *,
+        page_size: int = 4096,
+    ) -> "ProfileTrace":
+        """Build a trace from a run's OAL batches, keeping metadata only
+        for objects that actually appear in the log."""
+        batches = list(batches)
+        needed: set[int] = set()
+        for batch in batches:
+            for entry in batch.entries:
+                needed.add(entry.obj_id)
+        objects = {}
+        class_ids: set[int] = set()
+        for obj_id in sorted(needed):
+            obj = gos.get(obj_id)
+            objects[obj_id] = (obj.jclass.class_id, obj.seq, obj.length)
+            class_ids.add(obj.jclass.class_id)
+        classes = {}
+        for cid in sorted(class_ids):
+            jc = gos.registry.by_id(cid)
+            classes[cid] = (jc.name, jc.instance_size, jc.is_array, jc.element_size)
+        return cls(
+            n_threads=n_threads,
+            page_size=page_size,
+            classes=classes,
+            objects=objects,
+            batches=batches,
+        )
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {
+            "format_version": FORMAT_VERSION,
+            "n_threads": self.n_threads,
+            "page_size": self.page_size,
+            "classes": {
+                str(cid): list(meta) for cid, meta in self.classes.items()
+            },
+            "objects": {
+                str(oid): list(meta) for oid, meta in self.objects.items()
+            },
+            "batches": [
+                {
+                    "thread": b.thread_id,
+                    "interval": b.interval_id,
+                    "start_pc": b.start_pc,
+                    "end_pc": b.end_pc,
+                    "entries": [[e.obj_id, e.scaled_bytes, e.class_id] for e in b.entries],
+                }
+                for b in self.batches
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileTrace":
+        """Inverse of :meth:`to_dict`; validates the format version."""
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version!r} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        batches = []
+        for raw in data["batches"]:
+            batch = OALBatch(
+                thread_id=raw["thread"],
+                interval_id=raw["interval"],
+                start_pc=raw.get("start_pc", 0),
+                end_pc=raw.get("end_pc", 0),
+            )
+            for obj_id, scaled, class_id in raw["entries"]:
+                batch.add(obj_id, scaled, class_id)
+            batches.append(batch)
+        return cls(
+            n_threads=data["n_threads"],
+            page_size=data["page_size"],
+            classes={int(k): tuple(v) for k, v in data["classes"].items()},
+            objects={int(k): tuple(v) for k, v in data["objects"].items()},
+            batches=batches,
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace (gzip-compressed for ``.gz`` paths)."""
+        path = Path(path)
+        payload = json.dumps(self.to_dict(), separators=(",", ":"))
+        if path.suffix == ".gz":
+            path.write_bytes(gzip.compress(payload.encode()))
+        else:
+            path.write_text(payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProfileTrace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        if path.suffix == ".gz":
+            payload = gzip.decompress(path.read_bytes()).decode()
+        else:
+            payload = path.read_text()
+        return cls.from_dict(json.loads(payload))
+
+    # ------------------------------------------------------------------
+    # offline analysis
+    # ------------------------------------------------------------------
+
+    def _rebuild_policy(self, rate: float | str) -> tuple[SamplingPolicy, GlobalObjectSpace]:
+        """Reconstruct a registry/GOS skeleton carrying the recorded
+        sequence numbers, and a policy at the requested rate."""
+        gos = GlobalObjectSpace()
+        id_map = {}
+        for cid, (name, inst, is_array, elem) in sorted(self.classes.items()):
+            jc = gos.registry.define(name, inst, is_array=is_array, element_size=elem)
+            id_map[cid] = jc
+        policy = SamplingPolicy(page_size=self.page_size)
+        for jc in id_map.values():
+            policy.set_rate(jc, rate)
+        return policy, gos, id_map  # type: ignore[return-value]
+
+    def tcm_at_rate(self, rate: float | str) -> np.ndarray:
+        """The TCM a run at ``rate`` would have produced, replayed from
+        the recorded full-sampling log."""
+        from repro.heap.objects import HeapObject
+
+        policy, gos, id_map = self._rebuild_policy(rate)  # type: ignore[misc]
+
+        def entries():
+            cache: dict[int, HeapObject] = {}
+            for batch in self.batches:
+                for e in batch.entries:
+                    obj = cache.get(e.obj_id)
+                    if obj is None:
+                        cid, seq, length = self.objects[e.obj_id]
+                        obj = HeapObject(
+                            obj_id=e.obj_id,
+                            jclass=id_map[cid],
+                            seq=seq,
+                            home_node=0,
+                            length=length,
+                        )
+                        cache[e.obj_id] = obj
+                    if policy.is_sampled(obj):
+                        yield batch.thread_id, e.obj_id, policy.scaled_bytes(obj)
+
+        return build_tcm(entries(), self.n_threads)
+
+    def full_tcm(self) -> np.ndarray:
+        """The TCM from the recorded (full-sampling) log as-is."""
+        def entries():
+            for batch in self.batches:
+                for e in batch.entries:
+                    yield batch.thread_id, e.obj_id, e.scaled_bytes
+
+        return build_tcm(entries(), self.n_threads)
+
+    def drift_from(self, other: "ProfileTrace", metric: str = "abs") -> float:
+        """Distance between two traces' full maps (pattern drift check)."""
+        from repro.core.accuracy import absolute_error, euclidean_error
+
+        a, b = self.full_tcm(), other.full_tcm()
+        if a.shape != b.shape:
+            raise ValueError(
+                f"thread counts differ: {a.shape[0]} vs {b.shape[0]}"
+            )
+        return absolute_error(a, b) if metric == "abs" else euclidean_error(a, b)
+
+
+def record_trace(workload_factory, n_nodes: int, *, costs=None) -> ProfileTrace:
+    """One-call capture: run a workload at full sampling and return its
+    trace (the offline-analysis entry point)."""
+    from repro.analysis import experiments as E
+
+    batches, gos, n_threads, _run = E.collect_full_batches(
+        workload_factory, n_nodes, costs=costs
+    )
+    return ProfileTrace.capture(gos, batches, n_threads)

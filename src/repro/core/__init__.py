@@ -1,0 +1,72 @@
+"""The paper's contribution: adaptive sampling-based profiling.
+
+* :mod:`repro.core.sampling` / :mod:`repro.core.array_sampling` —
+  class-level adaptive object sampling with prime gaps and array
+  amortization (Section II.B).
+* :mod:`repro.core.access_profiler` / :mod:`repro.core.oal` /
+  :mod:`repro.core.collector` / :mod:`repro.core.tcm` — fine-grained
+  active correlation tracking: false-invalid resets, per-interval object
+  access lists, and thread correlation map construction (Section II.A).
+* :mod:`repro.core.accuracy` / :mod:`repro.core.adaptive` — the
+  EUC/ABS accuracy metrics and the adaptive rate controller.
+* :mod:`repro.core.footprint` / :mod:`repro.core.stack_sampler` /
+  :mod:`repro.core.invariants` / :mod:`repro.core.resolution` /
+  :mod:`repro.core.costmodel` — sticky-set profiling: footprinting,
+  adaptive stack sampling, stack-invariant mining, landmark-guided
+  resolution, and the migration cost model (Section III).
+* :mod:`repro.core.profiler` — the :class:`ProfilerSuite` facade wiring
+  everything into a DJVM.
+"""
+
+from repro.core.sampling import ClassSamplingState, SamplingPolicy
+from repro.core.array_sampling import sampled_element_count, amortized_sample_bytes
+from repro.core.oal import OALEntry, OALBatch
+from repro.core.access_profiler import AccessProfiler
+from repro.core.tcm import build_tcm, tcm_from_batches
+from repro.core.accuracy import absolute_error, euclidean_error, accuracy
+from repro.core.adaptive import (
+    AdaptiveRateController,
+    OfflineRateSearch,
+    PerClassRateController,
+    RateDecision,
+)
+from repro.core.collector import CorrelationCollector
+from repro.core.distributed import DistributedCorrelationCollector
+from repro.core.footprint import StickySetFootprinter
+from repro.core.stack_sampler import StackSampler
+from repro.core.invariants import mine_invariants
+from repro.core.resolution import resolve_sticky_set, ResolutionStats
+from repro.core.costmodel import MigrationCostModel, MigrationCostEstimate
+from repro.core.prefetch import ConnectivityPrefetcher, PathProfile
+from repro.core.profiler import ProfilerSuite
+
+__all__ = [
+    "ClassSamplingState",
+    "SamplingPolicy",
+    "sampled_element_count",
+    "amortized_sample_bytes",
+    "OALEntry",
+    "OALBatch",
+    "AccessProfiler",
+    "build_tcm",
+    "tcm_from_batches",
+    "absolute_error",
+    "euclidean_error",
+    "accuracy",
+    "AdaptiveRateController",
+    "OfflineRateSearch",
+    "PerClassRateController",
+    "RateDecision",
+    "CorrelationCollector",
+    "DistributedCorrelationCollector",
+    "StickySetFootprinter",
+    "StackSampler",
+    "mine_invariants",
+    "resolve_sticky_set",
+    "ResolutionStats",
+    "MigrationCostModel",
+    "MigrationCostEstimate",
+    "ConnectivityPrefetcher",
+    "PathProfile",
+    "ProfilerSuite",
+]

@@ -1,0 +1,200 @@
+"""Fine-grained active correlation tracking (paper Section II.A).
+
+The profiler rides on the HLRC protocol's at-most-once property:
+
+* On **interval open**, every sampled object the thread accessed in its
+  previous interval is reset to *false-invalid* — the visible state bits
+  are forced invalid while the real state moves to a side field — so the
+  next access traps into the GOS service routine regardless of real
+  coherence state.
+* On an **access trap** to a sampled object (real fault or
+  false-invalid), the access is appended to the thread's per-interval
+  object access list (OAL), the false-invalid state is cancelled, and
+  the real state is honoured.  Subsequent accesses in the same interval
+  run the inlined fast path untouched.
+* On **interval close**, the OAL is packed into a jumbo message for the
+  master's correlation collector, piggybacked on the lock/barrier
+  message when that synchronization already targets the master.
+
+Cost accounting reproduces the paper's overhead decomposition: O1 (CPU
+for generating OALs) lands in ``cpu.oal_logging_ns`` /
+``cpu.oal_packing_ns``, O2 (network) in the OAL traffic counters, O3
+(TCM construction) in the collector.
+"""
+
+from __future__ import annotations
+
+from repro.core.oal import OALBatch
+from repro.core.sampling import SamplingPolicy
+from repro.dsm.intervals import IntervalRecord
+from repro.heap.objects import HeapObject
+from repro.sim.cluster import Cluster
+from repro.sim.network import MessageKind
+
+
+class AccessProfiler:
+    """Protocol hook implementing sampled, at-most-once access logging."""
+
+    def __init__(
+        self,
+        policy: SamplingPolicy,
+        cluster: Cluster,
+        *,
+        collector=None,
+        send_oals: bool = True,
+        piggyback: bool = True,
+        enabled: bool = True,
+    ) -> None:
+        self.policy = policy
+        self.cluster = cluster
+        self.costs = cluster.costs
+        #: destination daemon; anything with a ``deliver(OALBatch)`` method.
+        self.collector = collector
+        #: when False, OALs are generated and costed but never sent (the
+        #: paper's O1-isolation methodology for Table II).
+        self.send_oals = send_oals
+        self.piggyback = piggyback
+        self.enabled = enabled
+        #: thread_id -> {obj_id: (scaled_bytes, class_id)} for the open interval.
+        self._current: dict[int, dict[int, tuple[int, int]]] = {}
+        #: thread_id -> object ids logged in the *previous* interval
+        #: (these are the ones reset to false-invalid at open).
+        self._previous: dict[int, set[int]] = {}
+        #: node_id -> class ids with a pending resampling pass.
+        self._pending_resample: dict[int, set[int]] = {}
+        #: counters for reporting.
+        self.total_logged = 0
+        self.total_batches = 0
+        self.resample_passes = 0
+
+    # ------------------------------------------------------------------
+    # rate changes
+    # ------------------------------------------------------------------
+
+    def notify_rate_change(self, jclass) -> None:
+        """Schedule the cluster-wide resampling pass a gap change requires:
+        every node must re-tag its cached objects of the class.  The cost
+        is charged to each node's next syncing thread (the paper measures
+        this at under 0.1% of CPU time)."""
+        for node in self.cluster.nodes:
+            self._pending_resample.setdefault(node.node_id, set()).add(jclass.class_id)
+
+    def _charge_pending_resample(self, thread) -> None:
+        pending = self._pending_resample.get(thread.node_id)
+        if not pending:
+            return
+        gos = getattr(self.collector, "gos", None)
+        n_objects = 0
+        for class_id in pending:
+            if gos is not None:
+                jclass = gos.registry.by_id(class_id)
+                n_objects += len(gos.objects_of_class(jclass))
+            else:
+                n_objects += 1
+        pending.clear()
+        ns = n_objects * self.costs.sample_check_ns
+        thread.cpu.resampling_ns += ns
+        thread.clock.advance(ns)
+        self.resample_passes += 1
+
+    # ------------------------------------------------------------------
+    # ProtocolHooks interface
+    # ------------------------------------------------------------------
+
+    def on_interval_open(self, thread) -> None:
+        """ProtocolHooks: a new HLRC interval just opened for ``thread``."""
+        if not self.enabled:
+            return
+        tid = thread.thread_id
+        self._current[tid] = {}
+        self._charge_pending_resample(thread)
+        # Reset last interval's logged objects to false-invalid.
+        prev = self._previous.get(tid)
+        if prev:
+            ns = len(prev) * self.costs.false_invalid_reset_ns
+            thread.cpu.oal_logging_ns += ns
+            thread.clock.advance(ns)
+
+    def on_access(
+        self,
+        thread,
+        obj: HeapObject,
+        *,
+        is_write: bool,
+        n_elems: int,
+        elem_off: int,
+        repeat: int,
+        real_fault: bool,
+    ) -> None:
+        """ProtocolHooks: one access op executed (see class docstring)."""
+        if not self.enabled:
+            return
+        oal = self._current.get(thread.thread_id)
+        if oal is None:
+            return
+        if obj.obj_id in oal:
+            return  # at-most-once per interval: fast path, zero extra cost
+        policy = self.policy
+        if not policy.is_sampled(obj):
+            return
+        # Trap into the GOS service routine.  A real fault already paid
+        # the trap on the coherence path; false-invalid pays it here.
+        costs = self.costs
+        ns = costs.oal_log_ns if real_fault else costs.gos_trap_ns + costs.oal_log_ns
+        thread.cpu.oal_logging_ns += ns
+        thread.clock.advance(ns)
+        oal[obj.obj_id] = (policy.scaled_bytes(obj), obj.jclass.class_id)
+        self.total_logged += 1
+
+    def on_interval_close(
+        self, thread, interval: IntervalRecord, sync_dst: int | None
+    ) -> None:
+        """ProtocolHooks: ``thread`` closed ``interval``."""
+        if not self.enabled:
+            return
+        tid = thread.thread_id
+        oal = self._current.pop(tid, None)
+        if oal is None:
+            return
+        self._previous[tid] = set(oal)
+        if not oal:
+            return
+        batch = OALBatch(
+            thread_id=tid,
+            interval_id=interval.interval_id,
+            start_pc=interval.start_pc,
+            end_pc=interval.end_pc,
+        )
+        for obj_id, (scaled, class_id) in oal.items():
+            batch.add(obj_id, scaled, class_id)
+        # Pack the jumbo message.
+        pack_ns = len(batch) * self.costs.oal_pack_ns_per_entry
+        thread.cpu.oal_packing_ns += pack_ns
+        thread.clock.advance(pack_ns)
+        self.total_batches += 1
+
+        if self.send_oals:
+            master = self.cluster.master_id
+            piggy = self.piggyback and sync_dst == master
+            self.cluster.network.send(
+                MessageKind.OAL,
+                thread.node_id,
+                master,
+                batch.wire_bytes,
+                thread.clock.now_ns,
+                piggybacked=piggy,
+            )
+            # OAL shipping is asynchronous (piggybacked on the outgoing
+            # sync message when possible); the sender pays only the
+            # serialization time, never the wire latency.
+            serialize_ns = self.cluster.network.transfer_time_ns(
+                batch.wire_bytes, piggybacked=True
+            )
+            thread.cpu.network_wait_ns += serialize_ns
+            thread.clock.advance(serialize_ns)
+            # The master's NIC must also serialize the burst before the
+            # next barrier release can go out (remote senders only).
+            if thread.node_id != master:
+                self.cluster.network.add_ingress_backlog(master, serialize_ns)
+        if self.collector is not None:
+            self.collector.deliver(batch)

@@ -1,0 +1,108 @@
+"""The master-side correlation collector daemon.
+
+Receives OAL batches from every worker, and — once enough intervals are
+gathered — reorganizes them into per-object thread lists and builds the
+thread correlation map (paper Section II.A, the "correlation computing
+daemon" of Fig. 2).  The CPU cost of that computation (overhead class
+O3, the dominant one in Table III) is modelled from the daemon's actual
+work: O(MN) reorganization over OAL entries plus O(M N^2) pair accrual,
+and charged to the master node's CPU account.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.oal import OALBatch
+from repro.core.tcm import accrual_pair_count, tcm_by_class, tcm_from_batches
+from repro.heap.heap import GlobalObjectSpace
+from repro.sim.cluster import Cluster
+
+
+class CorrelationCollector:
+    """Accumulates OAL batches and computes TCMs on demand or per window."""
+
+    def __init__(
+        self,
+        n_threads: int,
+        cluster: Cluster,
+        gos: GlobalObjectSpace | None = None,
+        *,
+        window_batches: int | None = None,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError(f"need at least one thread, got {n_threads}")
+        self.n_threads = n_threads
+        self.cluster = cluster
+        self.costs = cluster.costs
+        #: exposed so the access profiler can price resampling passes.
+        self.gos = gos
+        #: when set, a TCM is built automatically every ``window_batches``
+        #: delivered batches (windowed accrual); otherwise on demand.
+        self.window_batches = window_batches
+        self._pending: list[OALBatch] = []
+        self.batches_received = 0
+        self.entries_received = 0
+        #: cumulative TCM accrued over completed windows.
+        self._accrued = np.zeros((n_threads, n_threads), dtype=np.float64)
+        #: per-window TCMs (kept for adaptive-controller consumption).
+        self.window_tcms: list[np.ndarray] = []
+        #: when True, each processed window also yields per-class maps
+        #: (consumed by the per-class adaptive controller).
+        self.track_per_class = False
+        #: per-window {class_id: tcm} dicts (only when track_per_class).
+        self.window_class_tcms: list[dict[int, np.ndarray]] = []
+        #: modelled daemon CPU time (overhead O3), nanoseconds.
+        self.tcm_compute_ns = 0
+
+    # ------------------------------------------------------------------
+
+    def deliver(self, batch: OALBatch) -> None:
+        """Accept one OAL batch from a worker."""
+        self._pending.append(batch)
+        self.batches_received += 1
+        self.entries_received += len(batch)
+        if self.window_batches is not None and len(self._pending) >= self.window_batches:
+            self.process_window()
+
+    def process_window(self) -> np.ndarray:
+        """Fold all pending batches into the accrued TCM; returns the
+        window's own TCM.  Charges the modelled daemon cost."""
+        batches = self._pending
+        self._pending = []
+        n_entries = sum(len(b) for b in batches)
+        pairs = accrual_pair_count(batches)
+        cost = (
+            n_entries * self.costs.tcm_reorg_ns_per_entry
+            + pairs * self.costs.tcm_accrue_ns_per_pair
+        )
+        self.tcm_compute_ns += cost
+        self.cluster.master.cpu.extra["tcm_compute_ns"] = (
+            self.cluster.master.cpu.extra.get("tcm_compute_ns", 0) + cost
+        )
+        window = tcm_from_batches(batches, self.n_threads)
+        self._accrued += window
+        self.window_tcms.append(window)
+        if self.track_per_class:
+            self.window_class_tcms.append(tcm_by_class(batches, self.n_threads))
+        return window
+
+    def tcm(self) -> np.ndarray:
+        """The full accrued TCM (processing any pending batches first)."""
+        if self._pending:
+            self.process_window()
+        return self._accrued.copy()
+
+    @property
+    def tcm_compute_ms(self) -> float:
+        """Modelled daemon CPU time in milliseconds (Table III column)."""
+        return self.tcm_compute_ns / 1e6
+
+    def reset(self) -> None:
+        """Drop all state (e.g. between measurement phases)."""
+        self._pending = []
+        self._accrued = np.zeros((self.n_threads, self.n_threads), dtype=np.float64)
+        self.window_tcms = []
+        self.batches_received = 0
+        self.entries_received = 0
+        self.tcm_compute_ns = 0

@@ -1,0 +1,50 @@
+"""Object access lists (OALs).
+
+An OAL is the per-thread, per-interval record the access profiler ships
+to the master: the ids and (amortized, gap-scaled) sizes of the sampled
+objects the thread accessed during one HLRC interval, plus the interval
+context.  The HLRC at-most-once property bounds the OAL to one entry per
+object per interval regardless of how often the object was accessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: wire bytes per OAL entry (object id + logged size).
+ENTRY_WIRE_BYTES = 8
+#: wire bytes of the interval context header (thread, interval id, PCs).
+BATCH_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class OALEntry:
+    """One logged object access."""
+
+    obj_id: int
+    #: logged bytes, already gap-scaled (Horvitz-Thompson weight applied).
+    scaled_bytes: int
+    class_id: int
+
+
+@dataclass
+class OALBatch:
+    """One thread-interval's OAL plus its interval context."""
+
+    thread_id: int
+    interval_id: int
+    start_pc: int = 0
+    end_pc: int = 0
+    entries: list[OALEntry] = field(default_factory=list)
+
+    def add(self, obj_id: int, scaled_bytes: int, class_id: int) -> None:
+        """Append one entry."""
+        self.entries.append(OALEntry(obj_id, scaled_bytes, class_id))
+
+    @property
+    def wire_bytes(self) -> int:
+        """Serialized size of the jumbo-message fragment for this batch."""
+        return BATCH_HEADER_BYTES + len(self.entries) * ENTRY_WIRE_BYTES
+
+    def __len__(self) -> int:
+        return len(self.entries)

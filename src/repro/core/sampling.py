@@ -1,0 +1,183 @@
+"""Class-level adaptive object sampling (paper Section II.B).
+
+Every class carries its own *sampling gap*: an object is sampled iff its
+per-class sequence number is divisible by the gap.  Nominal gaps are
+powers of two; the **real** gap is the nearest prime (Section II.B.1) so
+cyclic allocation patterns cannot alias with the gap.  Rates are
+expressed page-relative as ``nX`` — "sample n objects per 4 KB page" —
+so for a class of size ``s`` the nominal gap at rate ``nX`` is
+``page_size / (s * n)``; classes at least a page large are therefore
+always fully sampled at any rate (the reason SOR behaves as if fully
+sampled throughout the paper's tables).
+
+Sampled contributions are scaled by the gap (a Horvitz-Thompson
+estimator): each sampled object stands for ``gap`` allocated peers, so
+TCMs estimated at any rate are directly comparable with the
+full-sampling reference — which is what the paper's accuracy formulas
+(1)/(2) compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.array_sampling import amortized_sample_bytes, sampled_element_count
+from repro.heap.jclass import JClass
+from repro.heap.objects import HeapObject
+from repro.util.primes import prime_gap_for_nominal
+from repro.util.validation import check_positive
+
+#: rate sentinel for full sampling.
+FULL = "full"
+
+
+@dataclass
+class ClassSamplingState:
+    """Per-class sampling metadata (the paper stores this "as close to
+    subclasses as possible")."""
+
+    jclass: JClass
+    nominal_gap: int = 1
+    real_gap: int = 1
+    #: bumped on every gap change; lets caches detect staleness.
+    epoch: int = 0
+    #: lower bound on the gap (used by sticky-set footprinting).
+    min_gap: int = 1
+    history: list[int] = field(default_factory=list)
+
+    def set_nominal(self, nominal: int) -> bool:
+        """Set a new nominal gap; returns True if the real gap changed."""
+        check_positive(nominal, "nominal gap")
+        nominal = max(nominal, self.min_gap)
+        real = prime_gap_for_nominal(nominal)
+        changed = real != self.real_gap
+        self.nominal_gap = nominal
+        if changed:
+            self.real_gap = real
+            self.epoch += 1
+            self.history.append(real)
+        return changed
+
+
+class SamplingPolicy:
+    """Cluster-wide sampling configuration: one gap per class."""
+
+    def __init__(self, page_size: int = 4096, *, use_prime_gaps: bool = True) -> None:
+        check_positive(page_size, "page_size")
+        self.page_size = int(page_size)
+        #: disable to ablate the prime-gap design choice.
+        self.use_prime_gaps = use_prime_gaps
+        self._states: dict[int, ClassSamplingState] = {}
+        #: total gap-change events (each triggers cluster-wide resampling).
+        self.rate_changes = 0
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    def state(self, jclass: JClass) -> ClassSamplingState:
+        """Get (or lazily create) the class's sampling state."""
+        st = self._states.get(jclass.class_id)
+        if st is None:
+            st = ClassSamplingState(jclass=jclass)
+            self._states[jclass.class_id] = st
+        return st
+
+    def gap(self, jclass: JClass) -> int:
+        """Current real (prime) sampling gap of a class."""
+        return self.state(jclass).real_gap
+
+    def _sampling_unit_size(self, jclass: JClass) -> int:
+        """Byte size of the sampling unit: the element for array classes
+        (elements carry the sequence numbers), the instance otherwise."""
+        return jclass.element_size if jclass.is_array else jclass.instance_size
+
+    def nominal_gap_for_rate(self, jclass: JClass, rate: float | str) -> int:
+        """Nominal gap realizing page-relative rate ``rate`` (``nX`` with
+        ``n = rate``, or the string ``"full"``)."""
+        if rate == FULL:
+            return 1
+        check_positive(rate, "sampling rate")
+        unit = self._sampling_unit_size(jclass)
+        nominal = int(self.page_size // (unit * rate))
+        return max(nominal, 1)
+
+    def set_rate(self, jclass: JClass, rate: float | str) -> bool:
+        """Set a class's gap from a page-relative rate; returns True when
+        the real gap changed (a cluster resampling pass is then due)."""
+        return self.set_nominal_gap(jclass, self.nominal_gap_for_rate(jclass, rate))
+
+    def set_nominal_gap(self, jclass: JClass, nominal: int) -> bool:
+        """Set a nominal gap directly; returns True if the real gap changed."""
+        st = self.state(jclass)
+        if not self.use_prime_gaps:
+            # Ablation mode: take the nominal gap as-is.
+            nominal = max(nominal, st.min_gap)
+            changed = nominal != st.real_gap
+            st.nominal_gap = nominal
+            if changed:
+                st.real_gap = nominal
+                st.epoch += 1
+                st.history.append(nominal)
+            if changed:
+                self.rate_changes += 1
+            return changed
+        changed = st.set_nominal(nominal)
+        if changed:
+            self.rate_changes += 1
+        return changed
+
+    def set_rate_all(self, classes, rate: float | str) -> list[JClass]:
+        """Apply one rate to many classes; returns classes whose gap changed."""
+        changed = []
+        for jclass in classes:
+            if self.set_rate(jclass, rate):
+                changed.append(jclass)
+        return changed
+
+    def set_min_gap(self, jclass: JClass, min_gap: int) -> None:
+        """Lower-bound a class's gap (sticky-set footprinting's guard
+        against runaway repeated-tracking cost)."""
+        check_positive(min_gap, "min_gap")
+        st = self.state(jclass)
+        st.min_gap = int(min_gap)
+        if st.real_gap < st.min_gap:
+            self.set_nominal_gap(jclass, st.min_gap)
+
+    # ------------------------------------------------------------------
+    # sampling decisions
+    # ------------------------------------------------------------------
+
+    def is_sampled(self, obj: HeapObject) -> bool:
+        """Is this object currently sampled?
+
+        Scalars: sequence number divisible by the class gap.  Arrays:
+        at least one element logically sampled (Fig. 3b).
+        """
+        gap = self.gap(obj.jclass)
+        if gap == 1:
+            return True
+        if obj.is_array:
+            return sampled_element_count(obj.seq, obj.length, gap) > 0
+        return obj.seq % gap == 0
+
+    def logged_bytes(self, obj: HeapObject) -> int:
+        """Bytes recorded in the OAL for one sampled object: the full
+        instance size for scalars, the amortized sample size for arrays."""
+        if obj.is_array:
+            return amortized_sample_bytes(obj, self.gap(obj.jclass))
+        return obj.jclass.instance_size
+
+    def scaled_bytes(self, obj: HeapObject) -> int:
+        """Horvitz-Thompson estimate this sample contributes: logged
+        bytes times the gap (each sample stands for ``gap`` units)."""
+        return self.logged_bytes(obj) * self.gap(obj.jclass)
+
+    def effective_rate(self, jclass: JClass) -> float:
+        """Realized samples-per-page for a class under its current gap."""
+        unit = self._sampling_unit_size(jclass)
+        return self.page_size / (unit * self.gap(jclass))
+
+    def classes(self) -> list[ClassSamplingState]:
+        """All per-class sampling states created so far."""
+        return list(self._states.values())

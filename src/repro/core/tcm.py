@@ -1,0 +1,122 @@
+"""Thread correlation map (TCM) construction.
+
+The TCM is an N x N histogram: cell (i, j) accumulates the bytes of
+objects both thread i and thread j accessed (paper Section II.A).  The
+master's daemon reorganizes per-thread OALs into per-object thread
+lists, then accrues each object's bytes into every co-accessing thread
+pair — O(MN) reorganization plus O(MN^2) accrual, the scalability
+bottleneck sampling attacks.
+
+The builder is vectorized per the hpc guides: with an (M x N) indicator
+matrix ``X`` of co-access and the per-object byte vector ``s``, the
+accrual is one rank-M update ``TCM += (X * s).T @ X`` instead of a
+Python triple loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.oal import OALBatch
+
+
+def build_tcm(
+    entries: Iterable[tuple[int, int, float]],
+    n_threads: int,
+    *,
+    include_diagonal: bool = False,
+) -> np.ndarray:
+    """Build a TCM from (thread_id, object_id, bytes) tuples.
+
+    Each distinct (thread, object) pair contributes once with the
+    *maximum* bytes seen for it (re-accesses across intervals do not
+    multiply an object's size into the map; the histogram accrues per
+    processing window, and callers wanting per-window accrual call this
+    once per window and sum).
+    """
+    if n_threads < 1:
+        raise ValueError(f"need at least one thread, got {n_threads}")
+    per_pair: dict[tuple[int, int], float] = {}
+    obj_index: dict[int, int] = {}
+    for tid, oid, size in entries:
+        if not 0 <= tid < n_threads:
+            raise ValueError(f"thread id {tid} out of range 0..{n_threads - 1}")
+        if oid not in obj_index:
+            obj_index[oid] = len(obj_index)
+        key = (obj_index[oid], tid)
+        prev = per_pair.get(key)
+        if prev is None or size > prev:
+            per_pair[key] = float(size)
+    n_objects = len(obj_index)
+    tcm = np.zeros((n_threads, n_threads), dtype=np.float64)
+    if n_objects == 0:
+        return tcm
+    bytes_mat = np.zeros((n_objects, n_threads), dtype=np.float64)
+    for (row, tid), size in per_pair.items():
+        bytes_mat[row, tid] = size
+    # An object's size is logged identically by every accessor (the
+    # amortized sample size is a property of the object, not the thread),
+    # so take the row-wise max as the object's byte weight.
+    sizes = bytes_mat.max(axis=1)
+    indicator = (bytes_mat > 0).astype(np.float64)
+    tcm = (indicator * sizes[:, None]).T @ indicator
+    if not include_diagonal:
+        np.fill_diagonal(tcm, 0.0)
+    return tcm
+
+
+def tcm_from_batches(
+    batches: Iterable[OALBatch],
+    n_threads: int,
+    *,
+    include_diagonal: bool = False,
+) -> np.ndarray:
+    """Build a TCM from collected OAL batches (one processing window)."""
+    def gen():
+        for batch in batches:
+            for entry in batch.entries:
+                yield batch.thread_id, entry.obj_id, entry.scaled_bytes
+
+    return build_tcm(gen(), n_threads, include_diagonal=include_diagonal)
+
+
+def tcm_by_class(
+    batches: Iterable[OALBatch],
+    n_threads: int,
+    *,
+    include_diagonal: bool = False,
+) -> dict[int, np.ndarray]:
+    """Per-class TCMs from one window's batches: class_id -> map built
+    from only that class's entries.  The full map is their sum; per-class
+    maps are what per-class rate adaptation compares across windows."""
+    by_class: dict[int, list[tuple[int, int, float]]] = {}
+    for batch in batches:
+        for entry in batch.entries:
+            by_class.setdefault(entry.class_id, []).append(
+                (batch.thread_id, entry.obj_id, entry.scaled_bytes)
+            )
+    return {
+        cid: build_tcm(entries, n_threads, include_diagonal=include_diagonal)
+        for cid, entries in by_class.items()
+    }
+
+
+def accrual_pair_count(batches: Iterable[OALBatch]) -> int:
+    """Number of (object, thread-pair) accrual steps the naive O(MN^2)
+    daemon would execute — the quantity the TCM-computing cost model
+    charges for."""
+    threads_per_obj: dict[int, set[int]] = {}
+    for batch in batches:
+        for entry in batch.entries:
+            threads_per_obj.setdefault(entry.obj_id, set()).add(batch.thread_id)
+    return sum(len(ts) * len(ts) for ts in threads_per_obj.values())
+
+
+def normalize_tcm(tcm: np.ndarray) -> np.ndarray:
+    """Scale a TCM so its maximum cell is 1 (for heatmap rendering)."""
+    peak = tcm.max()
+    if peak <= 0:
+        return np.zeros_like(tcm)
+    return tcm / peak

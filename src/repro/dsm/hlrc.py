@@ -1,0 +1,474 @@
+"""Home-based lazy release consistency (HLRC) protocol engine.
+
+This is the global object space (GOS) of the simulated DJVM.  Key
+behaviours mirrored from JESSICA2 / the HLRC literature (Zhou, Iftode &
+Li, OSDI'96), at *object* granularity:
+
+* Every shared object has a **home node** (its creator).  Other nodes
+  hold **cache copies** faulted in on demand.
+* Execution is divided into **intervals** delimited by synchronization
+  (acquire / release / barrier).
+* A write to a cache copy creates a **twin** (first write per interval)
+  and accumulates dirty bytes; at release/barrier the **diff** is sent
+  to the home, which bumps the object's version and publishes a **write
+  notice**.
+* At acquire/barrier, a node applies outstanding write notices and
+  invalidates stale cache copies; the next access faults the fresh copy
+  from home.
+* **At-most-once property**: within an interval, coherence work per
+  object happens at most once — the property the paper's profiler
+  exploits to bound logging cost.
+
+Profiler integration: the engine accepts *hooks* (see
+:class:`ProtocolHooks`) invoked on interval open/close and on each
+access op.  Hooks do their own cost accounting into the thread's CPU
+buckets, so overhead experiments can attribute every nanosecond.
+
+Scheduling approximation: threads run between sync points without
+preemption (legal under LRC, where remote writes become visible only at
+synchronization), and the interpreter always resumes the runnable thread
+with the smallest simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.dsm.intervals import IntervalRecord
+from repro.dsm.states import CopyRecord, RealState
+from repro.dsm.sync import SyncRegistry
+from repro.heap.heap import GlobalObjectSpace, LocalHeap
+from repro.heap.objects import HeapObject
+from repro.sim.cluster import Cluster
+from repro.sim.network import MessageKind
+
+
+class ProtocolHooks(Protocol):
+    """Interface a profiler implements to observe the protocol."""
+
+    def on_interval_open(self, thread) -> None:
+        """A new HLRC interval just opened for ``thread``."""
+        ...
+
+    def on_access(
+        self,
+        thread,
+        obj: HeapObject,
+        *,
+        is_write: bool,
+        n_elems: int,
+        elem_off: int,
+        repeat: int,
+        real_fault: bool,
+    ) -> None:
+        """One access op executed by ``thread`` on ``obj``."""
+        ...
+
+    def on_interval_close(self, thread, interval: IntervalRecord, sync_dst: int | None) -> None:
+        """``thread`` closed ``interval`` (sync_dst = manager node, if any)."""
+        ...
+
+
+#: request/reply/control message payload sizes (bytes).
+FETCH_REQ_BYTES = 16
+FETCH_REPLY_OVERHEAD = 16
+DIFF_OVERHEAD = 24
+LOCK_MSG_BYTES = 32
+BARRIER_MSG_BYTES = 32
+NOTICE_BYTES = 8
+
+
+class HomeBasedLRC:
+    """The GOS protocol engine shared by all threads of one DJVM."""
+
+    def __init__(
+        self,
+        gos: GlobalObjectSpace,
+        cluster: Cluster,
+        *,
+        keep_interval_history: bool = False,
+    ) -> None:
+        self.gos = gos
+        self.cluster = cluster
+        self.costs = cluster.costs
+        self.network = cluster.network
+        self.sync = SyncRegistry(master_node=cluster.master_id)
+        self.heaps: dict[int, LocalHeap] = {}
+        for node in cluster.nodes:
+            heap = LocalHeap(node.node_id)
+            node.heap = heap
+            self.heaps[node.node_id] = heap
+        #: global write-notice log: list of (obj_id, version).
+        self.notices: list[tuple[int, int]] = []
+        #: per-node index of the first unseen notice.
+        self._notice_seen: dict[int, int] = {n.node_id: 0 for n in cluster.nodes}
+        self.hooks: list[ProtocolHooks] = []
+        #: optional connectivity prefetcher consulted at fault time
+        #: (anything with ``bundle_for(thread, obj) -> list[HeapObject]``).
+        self.prefetcher = None
+        self.keep_interval_history = keep_interval_history
+        #: thread_id -> list of closed IntervalRecords (only when history kept).
+        self.interval_history: dict[int, list[IntervalRecord]] = {}
+        #: protocol event counters (for assertions and reporting).
+        self.counters = {
+            "faults": 0,
+            "invalidations": 0,
+            "diffs": 0,
+            "notices": 0,
+            "intervals": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # copies & faults
+    # ------------------------------------------------------------------
+
+    def _ensure_copy(self, thread, obj: HeapObject) -> tuple[CopyRecord, bool]:
+        """Make the object's copy on the thread's node accessible;
+        returns (record, faulted)."""
+        node_id = thread.node_id
+        heap = self.heaps[node_id]
+        record: CopyRecord | None = heap.get(obj.obj_id)  # type: ignore[assignment]
+        if record is not None and record.real_state is not RealState.INVALID:
+            return record, False
+        if obj.home_node == node_id:
+            # Home copies materialize lazily and are always current.
+            if record is None:
+                record = CopyRecord(obj.obj_id, RealState.HOME)
+                heap.put(obj.obj_id, record)
+                return record, False
+            # A home copy can never be INVALID.
+            return record, False
+        # Remote fault: trap + request/reply round trip to the home.
+        costs = self.costs
+        thread.cpu.protocol_ns += costs.gos_trap_ns
+        thread.clock.advance(costs.gos_trap_ns)
+
+        # Connectivity prefetching (inter-object affinity): bundle
+        # hot-path successors homed at the same node into the reply —
+        # one round trip, bigger payload, fewer future faults.
+        bundle: list[HeapObject] = []
+        if self.prefetcher is not None:
+            for extra in self.prefetcher.bundle_for(thread, obj):
+                if extra.home_node != obj.home_node:
+                    continue  # a different home cannot ride this reply
+                existing: CopyRecord | None = heap.get(extra.obj_id)  # type: ignore[assignment]
+                if existing is not None and existing.real_state is not RealState.INVALID:
+                    continue
+                bundle.append(extra)
+
+        now = thread.clock.now_ns
+        reply_bytes = obj.size_bytes + FETCH_REPLY_OVERHEAD
+        reply_bytes += sum(o.size_bytes + FETCH_REPLY_OVERHEAD for o in bundle)
+        wait = self.network.send(
+            MessageKind.OBJECT_FETCH_REQ, node_id, obj.home_node, FETCH_REQ_BYTES, now
+        )
+        wait += self.network.send(
+            MessageKind.OBJECT_FETCH_DATA,
+            obj.home_node,
+            node_id,
+            reply_bytes,
+            now + wait,
+        )
+        thread.cpu.network_wait_ns += wait
+        thread.clock.advance(wait)
+        if record is None:
+            record = CopyRecord(obj.obj_id, RealState.VALID, fetched_version=obj.home_version)
+            heap.put(obj.obj_id, record)
+        else:
+            record.real_state = RealState.VALID
+            record.fetched_version = obj.home_version
+        for extra in bundle:
+            existing = heap.get(extra.obj_id)  # type: ignore[assignment]
+            if existing is None:
+                heap.put(
+                    extra.obj_id,
+                    CopyRecord(
+                        extra.obj_id, RealState.VALID, fetched_version=extra.home_version
+                    ),
+                )
+            else:
+                existing.real_state = RealState.VALID
+                existing.fetched_version = extra.home_version
+        self.counters["faults"] += 1
+        return record, True
+
+    # ------------------------------------------------------------------
+    # access fast path
+    # ------------------------------------------------------------------
+
+    def access(
+        self,
+        thread,
+        obj_id: int,
+        *,
+        is_write: bool,
+        n_elems: int = 1,
+        repeat: int = 1,
+        elem_off: int = 0,
+    ) -> None:
+        """Execute ``repeat`` accesses touching ``n_elems`` distinct
+        elements of one object (the interpreter's READ/WRITE op)."""
+        obj = self.gos.get(obj_id)
+        costs = self.costs
+        # JIT-inlined state check + the access itself, paid per access.
+        busy = (costs.state_check_ns + costs.access_ns) * repeat
+        thread.cpu.access_ns += busy
+        thread.clock.advance(busy)
+
+        record, faulted = self._ensure_copy(thread, obj)
+
+        if is_write and not record.is_home:
+            if not record.has_twin:
+                twin_ns = obj.size_bytes * costs.twin_ns_per_byte
+                record.has_twin = True
+                thread.cpu.protocol_ns += twin_ns
+                thread.clock.advance(twin_ns)
+            elem = obj.jclass.element_size if obj.is_array else 0
+            written = n_elems * elem if obj.is_array else obj.jclass.instance_size
+            record.dirty_bytes = min(record.dirty_bytes + written, obj.size_bytes)
+            record.writers.add(thread.thread_id)
+
+        interval: IntervalRecord = thread.current_interval
+        interval.touch(
+            obj_id, is_write=is_write, count=repeat, now_ns=thread.clock.now_ns
+        )
+
+        for hook in self.hooks:
+            hook.on_access(
+                thread,
+                obj,
+                is_write=is_write,
+                n_elems=n_elems,
+                elem_off=elem_off,
+                repeat=repeat,
+                real_fault=faulted,
+            )
+
+    # ------------------------------------------------------------------
+    # intervals
+    # ------------------------------------------------------------------
+
+    def open_interval(self, thread) -> None:
+        """Begin a new interval for ``thread``."""
+        costs = self.costs
+        thread.cpu.protocol_ns += costs.interval_open_ns
+        thread.clock.advance(costs.interval_open_ns)
+        thread.interval_counter += 1
+        thread.current_interval = IntervalRecord(
+            thread_id=thread.thread_id,
+            interval_id=thread.interval_counter,
+            start_pc=thread.pc,
+            start_ns=thread.clock.now_ns,
+        )
+        for hook in self.hooks:
+            hook.on_interval_open(thread)
+
+    def close_interval(self, thread, reason: str, sync_dst: int | None = None) -> IntervalRecord:
+        """Close the thread's current interval: flush diffs, publish write
+        notices, then hand the interval record to the profiler hooks."""
+        costs = self.costs
+        interval: IntervalRecord = thread.current_interval
+        interval.end_pc = thread.pc
+        interval.close_reason = reason
+
+        heap = self.heaps[thread.node_id]
+        # Flush diffs for cache copies this thread wrote.
+        for obj_id in interval.written:
+            record: CopyRecord | None = heap.get(obj_id)  # type: ignore[assignment]
+            obj = self.gos.get(obj_id)
+            if record is None:
+                continue
+            if record.is_home:
+                obj.home_version += 1
+                self.notices.append((obj_id, obj.home_version))
+                self.counters["notices"] += 1
+                continue
+            if thread.thread_id not in record.writers:
+                continue
+            dirty = max(record.dirty_bytes, 1)
+            diff_ns = dirty * costs.diff_ns_per_byte
+            thread.cpu.protocol_ns += diff_ns
+            thread.clock.advance(diff_ns)
+            wait = self.network.send(
+                MessageKind.DIFF,
+                thread.node_id,
+                obj.home_node,
+                dirty + DIFF_OVERHEAD,
+                thread.clock.now_ns,
+            )
+            thread.cpu.network_wait_ns += wait
+            thread.clock.advance(wait)
+            obj.home_version += 1
+            # The writer's copy now reflects the applied diff.
+            record.fetched_version = obj.home_version
+            record.clear_interval_state()
+            self.notices.append((obj_id, obj.home_version))
+            self.counters["diffs"] += 1
+            self.counters["notices"] += 1
+
+        thread.cpu.protocol_ns += costs.interval_close_ns
+        thread.clock.advance(costs.interval_close_ns)
+        interval.end_ns = thread.clock.now_ns
+        self.counters["intervals"] += 1
+
+        for hook in self.hooks:
+            hook.on_interval_close(thread, interval, sync_dst)
+
+        if self.keep_interval_history:
+            self.interval_history.setdefault(thread.thread_id, []).append(interval)
+        return interval
+
+    # ------------------------------------------------------------------
+    # write-notice application
+    # ------------------------------------------------------------------
+
+    def apply_notices(self, thread) -> int:
+        """Apply all unseen write notices on the thread's node, invalidating
+        stale cache copies; returns the number of new notices consumed."""
+        node_id = thread.node_id
+        start = self._notice_seen[node_id]
+        new = self.notices[start:]
+        if not new:
+            return 0
+        self._notice_seen[node_id] = len(self.notices)
+        heap = self.heaps[node_id]
+        costs = self.costs
+        invalidated = 0
+        for obj_id, version in new:
+            record: CopyRecord | None = heap.get(obj_id)  # type: ignore[assignment]
+            if record is None or record.is_home:
+                continue
+            if record.real_state is RealState.VALID and record.fetched_version < version:
+                record.invalidate()
+                invalidated += 1
+        if invalidated:
+            ns = invalidated * costs.invalidate_ns
+            thread.cpu.protocol_ns += ns
+            thread.clock.advance(ns)
+            self.counters["invalidations"] += invalidated
+        return len(new)
+
+    def pending_notices(self, node_id: int) -> int:
+        """Number of notices the node has not applied yet."""
+        return len(self.notices) - self._notice_seen[node_id]
+
+    # ------------------------------------------------------------------
+    # synchronization operations
+    # ------------------------------------------------------------------
+
+    def acquire(self, thread, lock_id: int) -> bool:
+        """Lock acquire: closes the current interval and sends the request
+        to the manager.  Returns True if the lock was granted immediately
+        (write notices applied, new interval opened); False if the lock is
+        held — the thread is then parked in the lock's wait queue and the
+        scheduler must block it until :meth:`release` hands the lock over.
+        """
+        costs = self.costs
+        lock = self.sync.lock(lock_id)
+        # Acquire delimits intervals under LRC.
+        self.close_interval(thread, "acquire", sync_dst=lock.manager_node)
+        thread.cpu.protocol_ns += costs.lock_local_ns
+        thread.clock.advance(costs.lock_local_ns)
+
+        node_id = thread.node_id
+        now = thread.clock.now_ns
+        wait = self.network.send(MessageKind.LOCK, node_id, lock.manager_node, LOCK_MSG_BYTES, now)
+        arrival = now + wait
+        if lock.holder is not None:
+            lock.waiters.append((thread.thread_id, arrival))
+            return False
+        self._grant(thread, lock, lock.grant_time(arrival))
+        return True
+
+    def _grant(self, thread, lock, granted_ns: int) -> None:
+        """Complete a lock grant: reply message (carrying write notices),
+        clock alignment, invalidations, and a fresh interval."""
+        node_id = thread.node_id
+        notice_payload = self.pending_notices(node_id) * NOTICE_BYTES
+        wait_back = self.network.send(
+            MessageKind.LOCK,
+            lock.manager_node,
+            node_id,
+            LOCK_MSG_BYTES + notice_payload,
+            granted_ns,
+        )
+        before = thread.clock.now_ns
+        thread.clock.advance_to(granted_ns + wait_back)
+        thread.cpu.network_wait_ns += thread.clock.now_ns - before
+        lock.holder = thread.thread_id
+        lock.acquisitions += 1
+        self.apply_notices(thread)
+        self.open_interval(thread)
+
+    def release(self, thread, lock_id: int, threads_by_id: dict | None = None) -> int | None:
+        """Lock release: closes the interval (flushing diffs, publishing
+        notices), notifies the manager, opens a new interval.  If waiters
+        are queued, the lock is handed to the first one; its thread id is
+        returned so the scheduler can unblock it (``threads_by_id`` is
+        then required)."""
+        costs = self.costs
+        lock = self.sync.lock(lock_id)
+        if lock.holder != thread.thread_id:
+            raise RuntimeError(
+                f"thread {thread.thread_id} released lock {lock_id} held by {lock.holder}"
+            )
+        self.close_interval(thread, "release", sync_dst=lock.manager_node)
+        thread.cpu.protocol_ns += costs.lock_local_ns
+        thread.clock.advance(costs.lock_local_ns)
+        now = thread.clock.now_ns
+        wait = self.network.send(MessageKind.LOCK, thread.node_id, lock.manager_node, LOCK_MSG_BYTES, now)
+        # Release is one-way: the thread does not block on the ack, but the
+        # lock only becomes available when the message reaches the manager.
+        lock.available_at_ns = now + wait
+        lock.holder = None
+        self.open_interval(thread)
+        if lock.waiters:
+            if threads_by_id is None:
+                raise RuntimeError(
+                    f"lock {lock_id} has waiters but no thread table was supplied"
+                )
+            waiter_id, arrival = lock.waiters.pop(0)
+            waiter = threads_by_id[waiter_id]
+            self._grant(waiter, lock, lock.grant_time(arrival))
+            return waiter_id
+        return None
+
+    def barrier_arrive(self, thread, barrier_id: int, parties: int) -> bool:
+        """Barrier arrival: closes the interval and registers at the
+        barrier.  Returns True when the caller is the last arriver (the
+        scheduler then calls :meth:`barrier_release`)."""
+        barrier = self.sync.barrier(barrier_id, parties)
+        self.close_interval(thread, "barrier", sync_dst=self.cluster.master_id)
+        now = thread.clock.now_ns
+        self.network.send(
+            MessageKind.BARRIER, thread.node_id, self.cluster.master_id, BARRIER_MSG_BYTES, now
+        )
+        return barrier.arrive(thread.thread_id, now)
+
+    def barrier_release(self, threads_by_id: dict[int, object], barrier_id: int) -> None:
+        """Complete a barrier episode: align clocks, distribute write
+        notices, apply invalidations, and open fresh intervals."""
+        costs = self.costs
+        barrier = self.sync.barriers[barrier_id]
+        release_ns, waiters = barrier.release_all()
+        release_ns += costs.barrier_local_ns
+        # Bursty asynchronous traffic that converged on the master (OAL
+        # jumbo messages, prominently) must finish serializing before the
+        # master's release messages go out — the paper's "rather bursty"
+        # bandwidth consumption, surfacing as barrier latency.
+        release_ns += self.network.drain_ingress_backlog(self.cluster.master_id)
+        for thread_id in waiters:
+            thread = threads_by_id[thread_id]
+            notice_payload = self.pending_notices(thread.node_id) * NOTICE_BYTES
+            wait_back = self.network.send(
+                MessageKind.BARRIER,
+                self.cluster.master_id,
+                thread.node_id,
+                BARRIER_MSG_BYTES + notice_payload,
+                release_ns,
+            )
+            arrived_at = thread.clock.now_ns
+            thread.clock.advance_to(release_ns + wait_back)
+            thread.cpu.network_wait_ns += thread.clock.now_ns - arrived_at
+            self.apply_notices(thread)
+            self.open_interval(thread)

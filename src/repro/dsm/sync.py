@@ -1,0 +1,118 @@
+"""Distributed synchronization primitives: locks and barriers.
+
+Locks follow a home/manager model (the manager node orders grants);
+barriers rendezvous at the master.  Timing semantics:
+
+* **Lock**: the requester pays a round trip to the manager; if the lock
+  is held with a later known release time, the grant is deferred to that
+  time.  Grants are serialized in simulated-time order.  This is an
+  approximation adequate for the paper's workloads, which synchronize
+  almost exclusively with barriers.
+* **Barrier**: every participant sends an arrival message to the master
+  and blocks; when the last participant arrives, all clocks align to the
+  maximum arrival time plus the barrier cost and a release message flows
+  back.  The scheduler (interpreter) drives the blocking; this module
+  only keeps the state and computes times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DistributedLock:
+    """One cluster-wide lock, orchestrated by a manager node.
+
+    Mutual exclusion is real: while held, further requesters park in the
+    FIFO ``waiters`` queue and are granted at release, clock-aligned to
+    the release message's arrival at the manager.
+    """
+
+    lock_id: int
+    manager_node: int
+    holder: int | None = None
+    #: simulated time at which the lock last became free at the manager.
+    available_at_ns: int = 0
+    acquisitions: int = 0
+    #: (thread_id, request_arrival_ns) of parked requesters, FIFO.
+    waiters: list[tuple[int, int]] = field(default_factory=list)
+
+    def grant_time(self, request_arrival_ns: int) -> int:
+        """Earliest time the lock can be granted to a request arriving at
+        ``request_arrival_ns`` (manager-side ordering)."""
+        return max(request_arrival_ns, self.available_at_ns)
+
+
+@dataclass
+class Barrier:
+    """One cluster-wide barrier (re-usable across rounds)."""
+
+    barrier_id: int
+    parties: int
+    #: thread_id -> arrival time for the episode in progress.
+    waiting: dict[int, int] = field(default_factory=dict)
+    episodes: int = 0
+
+    def arrive(self, thread_id: int, now_ns: int) -> bool:
+        """Register arrival; returns True when this arrival completes the
+        episode (caller then releases everyone via :meth:`release_all`)."""
+        if thread_id in self.waiting:
+            raise RuntimeError(
+                f"thread {thread_id} arrived twice at barrier {self.barrier_id}"
+            )
+        self.waiting[thread_id] = now_ns
+        return len(self.waiting) == self.parties
+
+    def release_all(self) -> tuple[int, list[int]]:
+        """Complete the episode: returns (max arrival time, waiters)."""
+        if len(self.waiting) != self.parties:
+            raise RuntimeError(
+                f"barrier {self.barrier_id} released with {len(self.waiting)}"
+                f"/{self.parties} arrivals"
+            )
+        release_ns = max(self.waiting.values())
+        waiters = list(self.waiting)
+        self.waiting.clear()
+        self.episodes += 1
+        return release_ns, waiters
+
+
+class SyncRegistry:
+    """Registry of locks and barriers for one DJVM instance."""
+
+    def __init__(self, master_node: int = 0) -> None:
+        self.master_node = master_node
+        self._locks: dict[int, DistributedLock] = {}
+        self._barriers: dict[int, Barrier] = {}
+
+    def lock(self, lock_id: int, manager_node: int | None = None) -> DistributedLock:
+        """Get or create a lock (manager defaults to the master node)."""
+        if lock_id not in self._locks:
+            manager = self.master_node if manager_node is None else manager_node
+            self._locks[lock_id] = DistributedLock(lock_id=lock_id, manager_node=manager)
+        return self._locks[lock_id]
+
+    def barrier(self, barrier_id: int, parties: int) -> Barrier:
+        """Get or create a barrier with the given party count."""
+        existing = self._barriers.get(barrier_id)
+        if existing is not None:
+            if existing.parties != parties:
+                raise ValueError(
+                    f"barrier {barrier_id} already exists with "
+                    f"{existing.parties} parties, requested {parties}"
+                )
+            return existing
+        barrier = Barrier(barrier_id=barrier_id, parties=parties)
+        self._barriers[barrier_id] = barrier
+        return barrier
+
+    @property
+    def locks(self) -> dict[int, DistributedLock]:
+        """All locks created so far, by id."""
+        return self._locks
+
+    @property
+    def barriers(self) -> dict[int, Barrier]:
+        """All barriers created so far, by id."""
+        return self._barriers

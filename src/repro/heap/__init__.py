@@ -1,0 +1,18 @@
+"""Heap substrate: Java-like class registry, heap objects with per-class
+sequence numbers (the basis of the paper's sampling scheme), a global
+object space (home registry), per-node local heaps, and an object-to-page
+packing used by the page-based DSM baseline."""
+
+from repro.heap.jclass import ClassRegistry, JClass
+from repro.heap.objects import HeapObject
+from repro.heap.heap import GlobalObjectSpace, LocalHeap
+from repro.heap.pages import PageMap
+
+__all__ = [
+    "ClassRegistry",
+    "JClass",
+    "HeapObject",
+    "GlobalObjectSpace",
+    "LocalHeap",
+    "PageMap",
+]

@@ -1,0 +1,112 @@
+"""Global object space (GOS) registry and per-node local heaps.
+
+The :class:`GlobalObjectSpace` is the allocation authority: it assigns
+object ids, per-class sequence numbers and home nodes (home = creating
+node, as in JESSICA2).  :class:`LocalHeap` holds each node's *copies* —
+home copies for objects homed there, cache copies for remotely homed
+objects that local threads have faulted in.  The coherence state machine
+on those copies lives in :mod:`repro.dsm.states`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.heap.jclass import ClassRegistry, JClass
+from repro.heap.objects import HeapObject
+
+
+class GlobalObjectSpace:
+    """Cluster-wide object registry (ids, homes, sequence numbers)."""
+
+    def __init__(self, registry: ClassRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else ClassRegistry()
+        self._objects: list[HeapObject] = []
+        self._by_class: dict[int, list[int]] = {}
+
+    def allocate(
+        self,
+        jclass: JClass | str,
+        home_node: int,
+        *,
+        length: int = 0,
+        refs: Iterable[int] = (),
+    ) -> HeapObject:
+        """Allocate a new shared object homed at ``home_node``.
+
+        Arrays consume ``length`` consecutive per-class sequence numbers
+        (one per element); scalar objects consume one.
+        """
+        if isinstance(jclass, str):
+            jclass = self.registry.get(jclass)
+        if jclass.is_array:
+            if length < 1:
+                raise ValueError(f"array of class {jclass.name} needs length >= 1, got {length}")
+            seq = jclass.issue_seq(length)
+        else:
+            if length:
+                raise ValueError(f"scalar class {jclass.name} cannot take a length")
+            seq = jclass.issue_seq(1)
+        obj = HeapObject(
+            obj_id=len(self._objects),
+            jclass=jclass,
+            seq=seq,
+            home_node=home_node,
+            length=length,
+            refs=list(refs),
+        )
+        self._objects.append(obj)
+        self._by_class.setdefault(jclass.class_id, []).append(obj.obj_id)
+        return obj
+
+    def get(self, obj_id: int) -> HeapObject:
+        """Look up by key; returns None / raises per container semantics."""
+        return self._objects[obj_id]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[HeapObject]:
+        return iter(self._objects)
+
+    def objects_of_class(self, jclass: JClass | str) -> list[HeapObject]:
+        """All objects of one class, in allocation order."""
+        if isinstance(jclass, str):
+            jclass = self.registry.get(jclass)
+        return [self._objects[i] for i in self._by_class.get(jclass.class_id, [])]
+
+    def total_bytes(self) -> int:
+        """Total payload bytes in the global object space."""
+        return sum(o.size_bytes for o in self._objects)
+
+
+class LocalHeap:
+    """Per-node view of the global object space.
+
+    Maps object id to this node's copy record.  The record type is owned
+    by the DSM layer (:class:`repro.dsm.states.CopyRecord`); the heap is
+    just the container, mirroring how JESSICA2's local heaps hold both
+    home and cache copies.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.copies: dict[int, object] = {}
+
+    def __contains__(self, obj_id: int) -> bool:
+        return obj_id in self.copies
+
+    def get(self, obj_id: int):
+        """Look up by key; returns None / raises per container semantics."""
+        return self.copies.get(obj_id)
+
+    def put(self, obj_id: int, record: object) -> None:
+        """Store a record under ``obj_id``."""
+        self.copies[obj_id] = record
+
+    def evict(self, obj_id: int) -> None:
+        """Drop the record for ``obj_id`` (no-op when absent)."""
+        self.copies.pop(obj_id, None)
+
+    def __len__(self) -> int:
+        return len(self.copies)

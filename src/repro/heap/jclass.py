@@ -1,0 +1,101 @@
+"""Java class metadata.
+
+Sampling in the paper is configured *per class* ("we store the
+sampling-specific metadata like sampling gap as close to subclasses as
+possible", Section II.B), so every heap object carries a reference to a
+:class:`JClass` and each class keeps its own object sequence counter and
+sampling gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive
+
+
+@dataclass
+class JClass:
+    """Metadata for one (sub)class of heap objects.
+
+    For scalar classes ``instance_size`` is the object's byte size.  For
+    array classes ``element_size`` is the per-element byte size and each
+    instance supplies its own length; ``instance_size`` then holds only
+    the header bytes.
+    """
+
+    class_id: int
+    name: str
+    instance_size: int
+    is_array: bool = False
+    element_size: int = 0
+    #: next per-class object (or array-element) sequence number to issue.
+    next_seq: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.is_array:
+            check_positive(self.element_size, f"element_size of array class {self.name}")
+        else:
+            check_positive(self.instance_size, f"instance_size of class {self.name}")
+
+    def issue_seq(self, count: int = 1) -> int:
+        """Issue ``count`` consecutive sequence numbers; returns the first.
+
+        Plain objects take one number; an array of length L takes L
+        consecutive numbers (one per element, Section II.B.3), of which
+        only the first is stored on the instance.
+        """
+        check_positive(count, "sequence count")
+        first = self.next_seq
+        self.next_seq += count
+        return first
+
+
+class ClassRegistry:
+    """Registry of all classes loaded in the simulated DJVM."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, JClass] = {}
+        self._by_id: list[JClass] = []
+
+    def define(
+        self,
+        name: str,
+        instance_size: int = 0,
+        *,
+        is_array: bool = False,
+        element_size: int = 0,
+    ) -> JClass:
+        """Define a new class; names must be unique."""
+        if name in self._by_name:
+            raise ValueError(f"class {name!r} already defined")
+        jclass = JClass(
+            class_id=len(self._by_id),
+            name=name,
+            instance_size=instance_size if not is_array else max(instance_size, 16),
+            is_array=is_array,
+            element_size=element_size,
+        )
+        self._by_name[name] = jclass
+        self._by_id.append(jclass)
+        return jclass
+
+    def get(self, name: str) -> JClass:
+        """Look up by key; returns None / raises per container semantics."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"class {name!r} is not defined") from None
+
+    def by_id(self, class_id: int) -> JClass:
+        """Look up a class by its dense id."""
+        return self._by_id[class_id]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._by_id)
+
+    def __len__(self) -> int:
+        return len(self._by_id)

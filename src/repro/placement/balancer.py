@@ -1,0 +1,145 @@
+"""Correlation-aware load balancer.
+
+Combines the two profiling outputs the paper produces:
+
+* the **TCM** says which thread pairs share heavily (migration *gain*);
+* the **sticky-set footprint** says what a migration *costs* (stack plus
+  predictable post-migration faults, or the prefetch bundle).
+
+The balancer proposes profitable migrations: moves whose estimated
+communication saving over a horizon exceeds the migration cost, subject
+to a per-node load cap.  This is the "advanced load balancing policy"
+sketched as future work in Section VI, implemented in its natural form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costmodel import MigrationCostModel
+
+
+@dataclass
+class MigrationProposal:
+    """One recommended migration and its expected economics."""
+
+    thread_id: int
+    from_node: int
+    to_node: int
+    gain_ns: float
+    cost_ns: float
+
+    @property
+    def profit_ns(self) -> float:
+        """Expected gain minus migration cost."""
+        return self.gain_ns - self.cost_ns
+
+
+class CorrelationAwareBalancer:
+    """Greedy migration proposer over a TCM and per-thread footprints."""
+
+    def __init__(
+        self,
+        cost_model: MigrationCostModel,
+        *,
+        horizon_intervals: int = 10,
+        max_load_factor: float = 1.5,
+    ) -> None:
+        if horizon_intervals < 1:
+            raise ValueError(f"horizon must be >= 1 interval, got {horizon_intervals}")
+        if max_load_factor < 1.0:
+            raise ValueError(f"max_load_factor must be >= 1, got {max_load_factor}")
+        self.cost_model = cost_model
+        self.horizon_intervals = horizon_intervals
+        self.max_load_factor = max_load_factor
+
+    def propose(
+        self,
+        tcm: np.ndarray,
+        placement: dict[int, int],
+        n_nodes: int,
+        *,
+        footprints: dict[int, dict[str, float]] | None = None,
+        stack_slots: dict[int, int] | None = None,
+        max_proposals: int | None = None,
+    ) -> list[MigrationProposal]:
+        """Return profitable migrations, best first.
+
+        ``placement`` maps thread -> node.  ``footprints`` maps thread ->
+        sticky footprint (missing threads are assumed prefetch-free);
+        ``stack_slots`` maps thread -> stack size (defaults to 32 slots).
+        Proposals are applied greedily against the load cap, and each
+        thread is proposed at most once.
+        """
+        tcm = np.asarray(tcm, dtype=np.float64)
+        n_threads = tcm.shape[0]
+        placement = dict(placement)
+        avg_load = max(1.0, n_threads / n_nodes)
+        # A meaningful cap always leaves room for at least one incoming
+        # thread above the average (a cap equal to the average forbids
+        # every migration in a balanced system).
+        cap = max(int(self.max_load_factor * avg_load), int(avg_load) + 1)
+        load = {node: 0 for node in range(n_nodes)}
+        for node in placement.values():
+            load[node] = load.get(node, 0) + 1
+
+        candidates: list[MigrationProposal] = []
+        for t in range(n_threads):
+            src = placement.get(t)
+            if src is None:
+                continue
+            fp = (footprints or {}).get(t, {})
+            slots = (stack_slots or {}).get(t, 32)
+            estimate = self.cost_model.estimate(stack_slots=slots, sticky_footprint=fp)
+            cost = float(estimate.direct_ns + min(estimate.indirect_fault_ns, estimate.prefetch_ns))
+            for dst in range(n_nodes):
+                if dst == src:
+                    continue
+                gain = self.cost_model.migration_gain_ns(
+                    tcm, t, src, dst, placement, horizon_intervals=self.horizon_intervals
+                )
+                if gain > cost:
+                    candidates.append(
+                        MigrationProposal(
+                            thread_id=t, from_node=src, to_node=dst, gain_ns=gain, cost_ns=cost
+                        )
+                    )
+        candidates.sort(key=lambda p: p.profit_ns, reverse=True)
+
+        chosen: list[MigrationProposal] = []
+        moved: set[int] = set()
+        for prop in candidates:
+            if prop.thread_id in moved:
+                continue
+            if load[prop.to_node] + 1 > cap:
+                continue
+            # Re-evaluate the gain against the evolving placement: earlier
+            # accepted moves may have changed this thread's economics.
+            gain = self.cost_model.migration_gain_ns(
+                tcm,
+                prop.thread_id,
+                prop.from_node,
+                prop.to_node,
+                placement,
+                horizon_intervals=self.horizon_intervals,
+            )
+            if gain <= prop.cost_ns:
+                continue
+            chosen.append(
+                MigrationProposal(
+                    thread_id=prop.thread_id,
+                    from_node=prop.from_node,
+                    to_node=prop.to_node,
+                    gain_ns=gain,
+                    cost_ns=prop.cost_ns,
+                )
+            )
+            moved.add(prop.thread_id)
+            load[prop.from_node] -= 1
+            load[prop.to_node] += 1
+            placement[prop.thread_id] = prop.to_node
+            if max_proposals is not None and len(chosen) >= max_proposals:
+                break
+        return chosen

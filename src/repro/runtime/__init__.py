@@ -1,0 +1,28 @@
+"""DJVM runtime substrate: simulated Java stacks, threads, the operation
+stream format workloads compile to, the interpreter/scheduler that
+executes op streams over the HLRC protocol, the thread migration engine,
+and the :class:`~repro.runtime.djvm.DJVM` facade."""
+
+from repro.runtime.stack import Frame, JavaStack
+from repro.runtime.thread import SimThread, ThreadState
+from repro.runtime import program
+from repro.runtime.program import ProgramBuilder
+from repro.runtime.interpreter import Interpreter, TimerHook
+from repro.runtime.migration import MigrationEngine, MigrationPlan, MigrationResult
+from repro.runtime.djvm import DJVM, RunResult
+
+__all__ = [
+    "Frame",
+    "JavaStack",
+    "SimThread",
+    "ThreadState",
+    "program",
+    "ProgramBuilder",
+    "Interpreter",
+    "TimerHook",
+    "MigrationEngine",
+    "MigrationPlan",
+    "MigrationResult",
+    "DJVM",
+    "RunResult",
+]

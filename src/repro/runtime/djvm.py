@@ -1,0 +1,197 @@
+"""The DJVM facade: one object wiring cluster, global object space,
+HLRC protocol, threads, migration engine and profiler hooks together —
+the simulated counterpart of a booted JESSICA2 instance (paper Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsm.hlrc import HomeBasedLRC
+from repro.heap.heap import GlobalObjectSpace
+from repro.heap.jclass import JClass
+from repro.heap.objects import HeapObject
+from repro.runtime.interpreter import Interpreter, TimerHook
+from repro.runtime.migration import MigrationEngine
+from repro.runtime.thread import SimThread, ThreadState
+from repro.sim.cluster import Cluster
+from repro.sim.costs import CostModel, CpuAccounting
+from repro.sim.network import Network, TrafficStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated execution."""
+
+    #: wall-clock analogue: the latest thread finish time (ms).
+    execution_time_ms: float
+    #: per-thread CPU accounting, keyed by thread id.
+    thread_cpu: dict[int, CpuAccounting]
+    #: network traffic counters for the whole run.
+    traffic: TrafficStats
+    #: protocol event counters (faults, diffs, invalidations, ...).
+    counters: dict[str, int]
+    #: total ops executed across threads.
+    ops_executed: int
+    #: per-thread finish times (ms).
+    thread_finish_ms: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_cpu(self) -> CpuAccounting:
+        """Aggregated CPU accounting across every thread."""
+        total = CpuAccounting()
+        for cpu in self.thread_cpu.values():
+            total.merge(cpu)
+        return total
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph digest."""
+        total = self.total_cpu
+        return (
+            f"execution {self.execution_time_ms:.2f} ms | "
+            f"faults {self.counters.get('faults', 0)} | "
+            f"intervals {self.counters.get('intervals', 0)} | "
+            f"GOS traffic {self.traffic.gos_bytes / 1024:.1f} KB | "
+            f"OAL traffic {self.traffic.oal_bytes / 1024:.1f} KB | "
+            f"profiling CPU {total.profiling_ns / 1e6:.2f} ms"
+        )
+
+
+class DJVM:
+    """A simulated distributed JVM instance."""
+
+    def __init__(
+        self,
+        n_nodes: int = 8,
+        *,
+        costs: CostModel | None = None,
+        network: Network | None = None,
+        keep_interval_history: bool = False,
+        timeshare_nodes: bool = True,
+    ) -> None:
+        self.cluster = Cluster(
+            n_nodes,
+            costs=costs if costs is not None else CostModel.gideon300(),
+            network=network,
+        )
+        self.gos = GlobalObjectSpace()
+        self.hlrc = HomeBasedLRC(
+            self.gos, self.cluster, keep_interval_history=keep_interval_history
+        )
+        self.migration = MigrationEngine(self.hlrc, self.cluster)
+        #: single-core nodes (paper hardware) when True; one core per
+        #: thread when False.
+        self.timeshare_nodes = timeshare_nodes
+        self.threads: list[SimThread] = []
+        self.timers: list[TimerHook] = []
+        self._interpreter: Interpreter | None = None
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    @property
+    def costs(self) -> CostModel:
+        """The cluster's CPU cost model."""
+        return self.cluster.costs
+
+    @property
+    def registry(self):
+        """The DJVM's class registry."""
+        return self.gos.registry
+
+    def define_class(
+        self,
+        name: str,
+        instance_size: int = 0,
+        *,
+        is_array: bool = False,
+        element_size: int = 0,
+    ) -> JClass:
+        """Define a class in the DJVM's class registry."""
+        return self.gos.registry.define(
+            name, instance_size, is_array=is_array, element_size=element_size
+        )
+
+    def allocate(self, jclass, home_node: int, *, length: int = 0, refs=()) -> HeapObject:
+        """Allocate a shared object homed at ``home_node``."""
+        return self.gos.allocate(jclass, home_node, length=length, refs=refs)
+
+    def spawn_thread(self, node_id: int) -> SimThread:
+        """Create one application thread on ``node_id``."""
+        if not 0 <= node_id < len(self.cluster):
+            raise ValueError(f"node {node_id} out of range")
+        thread = SimThread(thread_id=len(self.threads), node_id=node_id)
+        self.threads.append(thread)
+        self.cluster[node_id].thread_ids.add(thread.thread_id)
+        return thread
+
+    def spawn_threads(
+        self, n_threads: int, *, placement: str | list[int] = "round_robin"
+    ) -> list[SimThread]:
+        """Spawn ``n_threads`` with a placement policy: "round_robin",
+        "block" (contiguous thread ranges per node, SPLASH-2 style), or
+        an explicit thread->node assignment list (e.g. a partitioner's
+        output)."""
+        n_nodes = len(self.cluster)
+        if isinstance(placement, list):
+            if len(placement) != n_threads:
+                raise ValueError(
+                    f"placement list has {len(placement)} entries for "
+                    f"{n_threads} threads"
+                )
+            return [self.spawn_thread(node) for node in placement]
+        created = []
+        for i in range(n_threads):
+            if placement == "round_robin":
+                node = i % n_nodes
+            elif placement == "block":
+                node = min(i * n_nodes // n_threads, n_nodes - 1)
+            else:
+                raise ValueError(f"unknown placement policy {placement!r}")
+            created.append(self.spawn_thread(node))
+        return created
+
+    def add_hook(self, hook) -> None:
+        """Attach a protocol hook (profiler) to the HLRC engine."""
+        self.hlrc.hooks.append(hook)
+
+    def add_timer(self, timer: TimerHook) -> None:
+        """Attach a timer-driven profiler component."""
+        self.timers.append(timer)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, programs: dict[int, object]) -> RunResult:
+        """Execute one program per thread to completion.
+
+        A DJVM instance runs once: threads, heaps and protocol state are
+        consumed by the run (re-running on spent threads would silently
+        return an empty result, so it is rejected)."""
+        spent = [t.thread_id for t in self.threads if t.state is not ThreadState.RUNNABLE]
+        if spent:
+            raise RuntimeError(
+                f"threads {spent} already ran; build a fresh DJVM per run"
+            )
+        interp = Interpreter(
+            self.hlrc, self.threads, timeshare_nodes=self.timeshare_nodes
+        )
+        interp.timers = self.timers
+        interp.migration_engine = self.migration
+        interp.attach_programs(programs)
+        self._interpreter = interp
+        interp.run()
+        for thread in self.threads:
+            if thread.state is not ThreadState.DONE:  # pragma: no cover - guard
+                raise RuntimeError(f"thread {thread.thread_id} did not finish")
+        finish = {t.thread_id: t.clock.now_ms for t in self.threads}
+        return RunResult(
+            execution_time_ms=max(finish.values()),
+            thread_cpu={t.thread_id: t.cpu for t in self.threads},
+            traffic=self.cluster.network.stats,
+            counters=dict(self.hlrc.counters),
+            ops_executed=interp.ops_executed,
+            thread_finish_ms=finish,
+        )

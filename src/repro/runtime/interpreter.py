@@ -1,0 +1,215 @@
+"""The interpreter/scheduler: executes thread programs over the HLRC
+protocol engine with simulated-time accounting.
+
+Scheduling model: a thread runs without preemption until it reaches a
+synchronization op (legal under lazy release consistency — remote writes
+only become visible at synchronization anyway); the scheduler then
+resumes the runnable thread with the smallest simulated clock.  Barriers
+park threads until the last participant arrives.
+
+Timer hooks (stack sampler, sticky-set footprint tracker) are polled
+after every op against the owning thread's clock — the simulated analogue
+of the paper's millisecond-granularity profiling timers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.dsm.hlrc import HomeBasedLRC
+from repro.runtime import program as prog
+from repro.runtime.stack import Frame
+from repro.runtime.thread import SimThread, ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.migration import MigrationEngine
+
+#: cost of a SETSLOT (a store to the current frame), nanoseconds.
+SETSLOT_NS = 2
+
+
+class TimerHook(Protocol):
+    """A profiler component driven by per-thread simulated timers."""
+
+    def maybe_fire(self, thread: SimThread) -> None:
+        """Fire if the thread's clock passed the component's next deadline."""
+        ...
+
+
+class Interpreter:
+    """Executes a set of thread programs to completion."""
+
+    def __init__(
+        self,
+        hlrc: HomeBasedLRC,
+        threads: list[SimThread],
+        *,
+        barrier_parties: int | None = None,
+        timeshare_nodes: bool = True,
+    ) -> None:
+        if not threads:
+            raise ValueError("interpreter needs at least one thread")
+        self.hlrc = hlrc
+        self.threads = threads
+        self.threads_by_id = {t.thread_id: t for t in threads}
+        if len(self.threads_by_id) != len(threads):
+            raise ValueError("duplicate thread ids")
+        self.parties = barrier_parties if barrier_parties is not None else len(threads)
+        self.costs = hlrc.costs
+        #: single-core nodes (the paper's P4s): threads co-located on a
+        #: node serialize their execution segments on its one core — the
+        #: non-preemptive user-level threading regime of Kaffe.  Off =
+        #: one core per thread (an idealized SMP node).
+        self.timeshare_nodes = timeshare_nodes
+        #: per-node core-busy cursor (ns) for the timesharing model.
+        self._node_cursor: dict[int, int] = {}
+        #: timer-driven profiler components, polled after every op.
+        self.timers: list[TimerHook] = []
+        #: migration engine checks (thread_id -> pending), set by MigrationEngine.
+        self.migration_engine: "MigrationEngine | None" = None
+        self.ops_executed = 0
+
+    # ------------------------------------------------------------------
+
+    def attach_programs(self, programs: dict[int, object]) -> None:
+        """Attach an op iterable per thread id."""
+        for thread in self.threads:
+            if thread.thread_id not in programs:
+                raise KeyError(f"no program for thread {thread.thread_id}")
+            thread.program = iter(programs[thread.thread_id])
+
+    def run(self) -> None:
+        """Execute every thread to completion."""
+        for thread in self.threads:
+            if thread.program is None:
+                raise RuntimeError(f"thread {thread.thread_id} has no program attached")
+            self.hlrc.open_interval(thread)
+        while True:
+            runnable = [t for t in self.threads if t.state is ThreadState.RUNNABLE]
+            if not runnable:
+                waiting = [
+                    t
+                    for t in self.threads
+                    if t.state in (ThreadState.WAITING_BARRIER, ThreadState.WAITING_LOCK)
+                ]
+                if waiting:
+                    raise RuntimeError(
+                        "deadlock: threads "
+                        f"{sorted(t.thread_id for t in waiting)} wait on "
+                        "synchronization no one else will complete"
+                    )
+                return  # all DONE
+            thread = min(runnable, key=lambda t: t.clock.now_ns)
+            self._run_until_sync(thread)
+
+    # ------------------------------------------------------------------
+
+    def _run_until_sync(self, thread: SimThread) -> None:
+        """Run one thread until it blocks, syncs, or finishes —
+        serialized on its node's single core when timesharing is on."""
+        if self.timeshare_nodes:
+            # The node's core is busy until the cursor: the thread's
+            # segment cannot start earlier.
+            thread.clock.advance_to(self._node_cursor.get(thread.node_id, 0))
+        try:
+            self._run_segment(thread)
+        finally:
+            if self.timeshare_nodes:
+                # The segment occupied the core (a migration mid-segment
+                # charges the remainder to the destination node).
+                node = thread.node_id
+                cursor = self._node_cursor.get(node, 0)
+                self._node_cursor[node] = max(cursor, thread.clock.now_ns)
+
+    def _run_segment(self, thread: SimThread) -> None:
+        """Execute ops until the next scheduling point."""
+        hlrc = self.hlrc
+        costs = self.costs
+        timers = self.timers
+        mig = self.migration_engine
+        assert thread.program is not None
+        for op in thread.program:
+            thread.pc += 1
+            code = op[0]
+            if code == prog.OP_READ or code == prog.OP_WRITE:
+                hlrc.access(
+                    thread,
+                    op[1],
+                    is_write=(code == prog.OP_WRITE),
+                    n_elems=op[2],
+                    repeat=op[3],
+                    elem_off=op[4],
+                )
+            elif code == prog.OP_COMPUTE:
+                ns = costs.scaled_compute(op[1])
+                thread.cpu.compute_ns += ns
+                thread.clock.advance(ns)
+            elif code == prog.OP_CALL:
+                frame = Frame(op[1], op[2], dict(op[3]))
+                thread.stack.push(frame)
+                thread.cpu.access_ns += costs.frame_push_ns
+                thread.clock.advance(costs.frame_push_ns)
+            elif code == prog.OP_RET:
+                thread.stack.pop()
+                thread.cpu.access_ns += costs.frame_pop_ns
+                thread.clock.advance(costs.frame_pop_ns)
+            elif code == prog.OP_SETSLOT:
+                top = thread.stack.top
+                if top is None:
+                    raise RuntimeError(
+                        f"thread {thread.thread_id}: SETSLOT at pc {thread.pc} "
+                        "with empty stack"
+                    )
+                top.set_slot(op[1], op[2])
+                thread.cpu.access_ns += SETSLOT_NS
+                thread.clock.advance(SETSLOT_NS)
+            elif code == prog.OP_ACQUIRE:
+                self.ops_executed += 1
+                granted = hlrc.acquire(thread, op[1])
+                if granted:
+                    self._post_op(thread, timers, mig)
+                else:
+                    thread.state = ThreadState.WAITING_LOCK
+                    thread.waiting_lock_id = op[1]
+                return  # yield so lock ordering tracks simulated time
+            elif code == prog.OP_RELEASE:
+                self.ops_executed += 1
+                unblocked = hlrc.release(thread, op[1], self.threads_by_id)
+                if unblocked is not None:
+                    other = self.threads_by_id[unblocked]
+                    other.state = ThreadState.RUNNABLE
+                    other.waiting_lock_id = None
+                self._post_op(thread, timers, mig)
+                return
+            elif code == prog.OP_BARRIER:
+                self.ops_executed += 1
+                barrier_id = op[1]
+                last = hlrc.barrier_arrive(thread, barrier_id, self.parties)
+                if last:
+                    hlrc.barrier_release(self.threads_by_id, barrier_id)
+                    for other in self.threads:
+                        if (
+                            other.state is ThreadState.WAITING_BARRIER
+                            and other.waiting_barrier_id == barrier_id
+                        ):
+                            other.state = ThreadState.RUNNABLE
+                            other.waiting_barrier_id = None
+                    self._post_op(thread, timers, mig)
+                else:
+                    thread.state = ThreadState.WAITING_BARRIER
+                    thread.waiting_barrier_id = barrier_id
+                return
+            else:
+                raise ValueError(f"unknown opcode {code} at pc {thread.pc}")
+            self.ops_executed += 1
+            self._post_op(thread, timers, mig)
+        # Program exhausted: close the final interval.
+        self.hlrc.close_interval(thread, "end")
+        thread.state = ThreadState.DONE
+
+    def _post_op(self, thread: SimThread, timers, mig) -> None:
+        """Poll timer hooks and pending migrations after one op."""
+        for timer in timers:
+            timer.maybe_fire(thread)
+        if mig is not None and mig.has_pending(thread.thread_id):
+            mig.maybe_migrate(thread)

@@ -1,0 +1,204 @@
+"""Thread programs: the op-stream format workloads compile to.
+
+A thread program is an iterable of small tuples — the simulator's
+"bytecode".  Access ops are *aggregated*: one READ op can stand for
+``repeat`` accesses touching ``n_elems`` distinct elements of an object,
+which keeps op streams tractable while preserving exactly what the
+protocol and the profilers observe (object identity, access counts,
+element coverage, interval structure, stack shape).
+
+Opcodes
+-------
+
+========  =======================================================
+READ      (OP_READ, obj_id, n_elems, repeat, elem_off)
+WRITE     (OP_WRITE, obj_id, n_elems, repeat, elem_off)
+COMPUTE   (OP_COMPUTE, ns) — pure CPU work
+CALL      (OP_CALL, method, n_slots, ((slot, obj_id), ...))
+RET       (OP_RET,)
+SETSLOT   (OP_SETSLOT, slot, obj_id_or_None)
+ACQUIRE   (OP_ACQUIRE, lock_id)
+RELEASE   (OP_RELEASE, lock_id)
+BARRIER   (OP_BARRIER, barrier_id)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+OP_READ = 0
+OP_WRITE = 1
+OP_COMPUTE = 2
+OP_CALL = 3
+OP_RET = 4
+OP_SETSLOT = 5
+OP_ACQUIRE = 6
+OP_RELEASE = 7
+OP_BARRIER = 8
+
+OPCODE_NAMES = {
+    OP_READ: "READ",
+    OP_WRITE: "WRITE",
+    OP_COMPUTE: "COMPUTE",
+    OP_CALL: "CALL",
+    OP_RET: "RET",
+    OP_SETSLOT: "SETSLOT",
+    OP_ACQUIRE: "ACQUIRE",
+    OP_RELEASE: "RELEASE",
+    OP_BARRIER: "BARRIER",
+}
+
+Op = tuple
+
+
+def read(obj_id: int, n_elems: int = 1, repeat: int = 1, elem_off: int = 0) -> Op:
+    """READ op: ``repeat`` reads over ``n_elems`` elements from ``elem_off``."""
+    return (OP_READ, obj_id, n_elems, repeat, elem_off)
+
+
+def write(obj_id: int, n_elems: int = 1, repeat: int = 1, elem_off: int = 0) -> Op:
+    """WRITE op: ``repeat`` writes over ``n_elems`` elements from ``elem_off``."""
+    return (OP_WRITE, obj_id, n_elems, repeat, elem_off)
+
+
+def compute(ns: int) -> Op:
+    """COMPUTE op: ``ns`` nanoseconds of pure CPU work."""
+    return (OP_COMPUTE, ns)
+
+
+def call(method: str, n_slots: int = 4, refs: Iterable[tuple[int, int]] = ()) -> Op:
+    """CALL op: push a frame with ``n_slots`` slots, reference slots preset."""
+    return (OP_CALL, method, n_slots, tuple(refs))
+
+
+def ret() -> Op:
+    """RET op: pop the top frame."""
+    return (OP_RET,)
+
+
+def setslot(slot: int, obj_id: int | None) -> Op:
+    """SETSLOT op: store ``obj_id`` (or None) into a top-frame slot."""
+    return (OP_SETSLOT, slot, obj_id)
+
+
+def acquire(lock_id: int) -> Op:
+    """ACQUIRE op: distributed lock acquire (interval boundary)."""
+    return (OP_ACQUIRE, lock_id)
+
+
+def release(lock_id: int) -> Op:
+    """RELEASE op: distributed lock release (interval boundary)."""
+    return (OP_RELEASE, lock_id)
+
+
+def barrier(barrier_id: int) -> Op:
+    """BARRIER op: global barrier (interval boundary)."""
+    return (OP_BARRIER, barrier_id)
+
+
+class ProgramBuilder:
+    """Convenience builder for op lists, used by workloads and tests.
+
+    Methods mirror the op constructors and return ``self`` for chaining;
+    :meth:`ops` yields the accumulated list.
+    """
+
+    def __init__(self) -> None:
+        self._ops: list[Op] = []
+
+    def read(self, obj_id: int, n_elems: int = 1, repeat: int = 1, elem_off: int = 0) -> "ProgramBuilder":
+        """READ op (see module-level :func:`read`)."""
+        self._ops.append(read(obj_id, n_elems, repeat, elem_off))
+        return self
+
+    def write(self, obj_id: int, n_elems: int = 1, repeat: int = 1, elem_off: int = 0) -> "ProgramBuilder":
+        """WRITE op (see module-level :func:`write`)."""
+        self._ops.append(write(obj_id, n_elems, repeat, elem_off))
+        return self
+
+    def compute(self, ns: int) -> "ProgramBuilder":
+        """COMPUTE op (see module-level :func:`compute`)."""
+        self._ops.append(compute(ns))
+        return self
+
+    def call(self, method: str, n_slots: int = 4, refs: Iterable[tuple[int, int]] = ()) -> "ProgramBuilder":
+        """CALL op (see module-level :func:`call`)."""
+        self._ops.append(call(method, n_slots, refs))
+        return self
+
+    def ret(self) -> "ProgramBuilder":
+        """RET op (see module-level :func:`ret`)."""
+        self._ops.append(ret())
+        return self
+
+    def setslot(self, slot: int, obj_id: int | None) -> "ProgramBuilder":
+        """SETSLOT op (see module-level :func:`setslot`)."""
+        self._ops.append(setslot(slot, obj_id))
+        return self
+
+    def acquire(self, lock_id: int) -> "ProgramBuilder":
+        """ACQUIRE op (see module-level :func:`acquire`)."""
+        self._ops.append(acquire(lock_id))
+        return self
+
+    def release(self, lock_id: int) -> "ProgramBuilder":
+        """RELEASE op (see module-level :func:`release`)."""
+        self._ops.append(release(lock_id))
+        return self
+
+    def barrier(self, barrier_id: int) -> "ProgramBuilder":
+        """BARRIER op (see module-level :func:`barrier`)."""
+        self._ops.append(barrier(barrier_id))
+        return self
+
+    def extend(self, ops: Iterable[Op]) -> "ProgramBuilder":
+        """Append a sequence of prebuilt ops."""
+        self._ops.extend(ops)
+        return self
+
+    def ops(self) -> list[Op]:
+        """The accumulated op list (a copy)."""
+        return list(self._ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+def validate_program(ops: Iterable[Op]) -> list[str]:
+    """Static well-formedness check: balanced CALL/RET, SETSLOT only
+    inside a frame, ACQUIRE/RELEASE pairing per lock.  Returns a list of
+    problem descriptions (empty = valid)."""
+    problems: list[str] = []
+    depth = 0
+    held: set[int] = set()
+    for i, op in enumerate(ops):
+        code = op[0]
+        if code == OP_CALL:
+            depth += 1
+        elif code == OP_RET:
+            depth -= 1
+            if depth < 0:
+                problems.append(f"op {i}: RET with empty stack")
+                depth = 0
+        elif code == OP_SETSLOT:
+            if depth == 0:
+                problems.append(f"op {i}: SETSLOT outside any frame")
+        elif code == OP_ACQUIRE:
+            lock = op[1]
+            if lock in held:
+                problems.append(f"op {i}: ACQUIRE of lock {lock} already held")
+            held.add(lock)
+        elif code == OP_RELEASE:
+            lock = op[1]
+            if lock not in held:
+                problems.append(f"op {i}: RELEASE of lock {lock} not held")
+            held.discard(lock)
+    if depth != 0:
+        problems.append(f"program ends with {depth} unpopped frame(s)")
+    if held:
+        problems.append(f"program ends holding locks {sorted(held)}")
+    return problems

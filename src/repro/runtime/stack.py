@@ -1,0 +1,114 @@
+"""Simulated Java thread stacks.
+
+The JVM is a stack machine: every bytecode reaches its operands through
+the current frame, so all live object references a thread can use are
+rooted in frame slots (the property Section III.A.2 exploits).  A
+:class:`Frame` models one Java method activation: a method name, a flat
+slot array (arguments + locals, reference slots holding object ids,
+non-reference slots holding ``None``), and the ``visited`` flag the
+paper's JIT hack clears in every method prologue for two-phase stack
+scanning.
+
+Frames carry a process-unique ``frame_uid`` so the stack sampler can
+tell "the same activation sampled again" apart from "a fresh activation
+of the same method at the same depth" — the distinction the visited flag
+encodes in the real system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+_frame_uids = itertools.count()
+
+
+class Frame:
+    """One Java method activation record."""
+
+    __slots__ = ("method", "slots", "visited", "frame_uid")
+
+    def __init__(self, method: str, n_slots: int, refs: dict[int, int] | None = None) -> None:
+        if n_slots < 0:
+            raise ValueError(f"frame cannot have {n_slots} slots")
+        self.method = method
+        #: slot i holds an object id (reference) or None (non-reference).
+        self.slots: list[int | None] = [None] * n_slots
+        if refs:
+            for idx, obj_id in refs.items():
+                if not 0 <= idx < n_slots:
+                    raise IndexError(f"ref slot {idx} out of range for {n_slots} slots")
+                self.slots[idx] = obj_id
+        #: cleared in the method prologue; set by the stack sampler.
+        self.visited = False
+        self.frame_uid = next(_frame_uids)
+
+    def set_slot(self, idx: int, obj_id: int | None) -> None:
+        """Store ``obj_id`` (or None) into slot ``idx``."""
+        self.slots[idx] = obj_id
+
+    def get_slot(self, idx: int) -> int | None:
+        """Return slot ``idx``'s content."""
+        return self.slots[idx]
+
+    def ref_slots(self) -> list[tuple[int, int]]:
+        """(slot index, object id) for every reference-holding slot."""
+        return [(i, v) for i, v in enumerate(self.slots) if v is not None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Frame({self.method!r}, uid={self.frame_uid}, slots={self.slots})"
+
+
+class JavaStack:
+    """A thread's Java stack; index 0 is the bottom (oldest) frame."""
+
+    def __init__(self) -> None:
+        self._frames: list[Frame] = []
+
+    def push(self, frame: Frame) -> None:
+        """Push a frame onto the stack."""
+        self._frames.append(frame)
+
+    def pop(self) -> Frame:
+        """Pop and return the top frame."""
+        if not self._frames:
+            raise IndexError("pop from empty Java stack")
+        return self._frames.pop()
+
+    @property
+    def top(self) -> Frame | None:
+        """The top (most recent) frame, or None when empty."""
+        return self._frames[-1] if self._frames else None
+
+    @property
+    def bottom(self) -> Frame | None:
+        """The bottom (oldest) frame, or None when empty."""
+        return self._frames[0] if self._frames else None
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        """Bottom-up iteration."""
+        return iter(self._frames)
+
+    def frames_top_down(self) -> Iterator[Frame]:
+        """Top-down iteration (the order the sampler's first phase walks)."""
+        return reversed(self._frames)
+
+    def frame_at(self, depth_from_top: int) -> Frame:
+        """Frame ``depth_from_top`` levels below the top (0 = top)."""
+        return self._frames[-(depth_from_top + 1)]
+
+    def total_slots(self) -> int:
+        """Total slot count across frames (migration payload size proxy)."""
+        return sum(len(f.slots) for f in self._frames)
+
+    def live_refs(self) -> set[int]:
+        """All object ids currently reachable from any frame slot."""
+        refs: set[int] = set()
+        for frame in self._frames:
+            for value in frame.slots:
+                if value is not None:
+                    refs.add(value)
+        return refs

@@ -1,0 +1,51 @@
+"""Cluster: a set of nodes, an interconnect, and a master designation.
+
+Mirrors the paper's Fig. 2 deployment: worker JVMs host application
+threads; the master JVM additionally runs the correlation analyzer and
+global load balancer.  Node 0 is the master by convention.
+"""
+
+from __future__ import annotations
+
+from repro.sim.costs import CostModel
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+class Cluster:
+    """A fixed-size cluster of simulated nodes."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        network: Network | None = None,
+        costs: CostModel | None = None,
+        master_id: int = 0,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"cluster needs at least one node, got {n_nodes}")
+        if not 0 <= master_id < n_nodes:
+            raise ValueError(f"master_id {master_id} out of range for {n_nodes} nodes")
+        self.nodes = [Node(i) for i in range(n_nodes)]
+        self.network = network if network is not None else Network()
+        self.costs = costs if costs is not None else CostModel.gideon300()
+        self.master_id = master_id
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    @property
+    def master(self) -> Node:
+        """The master node (runs the correlation analyzer daemon)."""
+        return self.nodes[self.master_id]
+
+    def node_of_thread(self, thread_id: int) -> Node:
+        """Locate the node currently hosting ``thread_id``."""
+        for node in self.nodes:
+            if thread_id in node.thread_ids:
+                return node
+        raise KeyError(f"thread {thread_id} is not hosted on any node")

@@ -1,0 +1,197 @@
+"""CPU cost model for the simulated DJVM.
+
+Costs are expressed in integer nanoseconds per primitive runtime event.
+The defaults (:meth:`CostModel.gideon300`) are calibrated to the class
+of machine in the paper's evaluation — a Pentium 4 at 2 GHz running a
+JIT-compiled Kaffe JVM — so that the *ratios* between the fast path (an
+inlined object state check), the slow path (GOS fault-handler entry for
+logging a false-invalid access) and a remote fault (network round trip)
+match the regime the paper measures.  Absolute times are not the
+reproduction target; relative overheads are.
+
+Key ratios preserved:
+
+* state check (~a few cycles, inlined)  <<  log slow path (~100s ns)
+* log slow path  <<  remote object fault (>= 100 us round trip)
+* TCM construction cost per (object x thread-pair) entry ~ tens of ns
+  on the master, which makes TCM computation the dominant tracking
+  overhead at full sampling — exactly Table III's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event CPU costs (nanoseconds) and structural constants."""
+
+    # --- common-case execution -------------------------------------------
+    #: inlined per-access object state check (JIT-injected, ~4 cycles).
+    state_check_ns: int = 2
+    #: base cost of one application-level object access (load/store plus
+    #: address arithmetic) on top of any workload-declared compute.
+    access_ns: int = 4
+    #: cost of pushing/popping a Java frame (method prologue/epilogue).
+    frame_push_ns: int = 40
+    frame_pop_ns: int = 25
+
+    # --- GOS protocol ------------------------------------------------------
+    #: slow-path entry into the GOS service routine (register save, state
+    #: decode, handler dispatch) paid whenever an access traps — real
+    #: fault or false-invalid.  Microseconds on the paper's P4/Kaffe
+    #: stack; calibrated so Table II's full-sampling overheads land near
+    #: the published ~1% for Barnes-Hut.
+    gos_trap_ns: int = 2_200
+    #: appending one record (object id + size) to the per-interval OAL
+    #: (hash lookup + allocation in the logging runtime).
+    oal_log_ns: int = 800
+    #: resetting one cached object to false-invalid at interval open.
+    false_invalid_reset_ns: int = 350
+    #: twin creation before first write to a cached object in an interval.
+    twin_ns_per_byte: int = 1
+    #: diff computation at release, per modified byte.
+    diff_ns_per_byte: int = 2
+    #: applying a write notice (invalidate one cached object) at acquire.
+    invalidate_ns: int = 45
+    #: fixed protocol bookkeeping at interval open/close.
+    interval_open_ns: int = 350
+    interval_close_ns: int = 500
+    #: lock acquire/release local bookkeeping (on top of any messaging).
+    lock_local_ns: int = 220
+    #: barrier local bookkeeping per participant.
+    barrier_local_ns: int = 400
+
+    # --- profiling: correlation tracking ------------------------------------
+    #: checking the sampling tag / sequence-number divisibility per object
+    #: at interval open (resampling scans reuse this too).
+    sample_check_ns: int = 8
+    #: packing one OAL entry into the jumbo message at interval close.
+    oal_pack_ns_per_entry: int = 300
+    #: master-side: reorganizing one OAL entry into per-object lists
+    #: (hash re-bucketing in the daemon; Table III shows this dominates).
+    tcm_reorg_ns_per_entry: int = 3_000
+    #: master-side: accruing one thread-pair cell for one object.
+    tcm_accrue_ns_per_pair: int = 400
+
+    # --- profiling: stack sampling / sticky sets ----------------------------
+    #: walking one frame during the top-down/bottom-up scan (%EBP chain
+    #: decode + method lookup by PC).
+    frame_walk_ns: int = 4_000
+    #: capturing one frame in raw (native) form, per slot (memcpy).
+    raw_capture_ns_per_slot: int = 600
+    #: extracting one slot (reflection lookup + layout decode + GC pointer
+    #: check — the expensive step lazy extraction defers).
+    extract_ns_per_slot: int = 9_000
+    #: probing one old-sample slot against the live frame.
+    probe_ns_per_slot: int = 1_500
+    #: footprinting: logging one sampled object's phase-touch.
+    footprint_track_ns: int = 2_800
+    #: resolution: tracing one edge of the object graph.
+    resolve_trace_ns: int = 500
+
+    # --- thread migration ----------------------------------------------------
+    #: fixed cost of freezing/thawing a thread context.
+    migration_fixed_ns: int = 800_000
+    #: serializing one stack slot into the portable frame format.
+    migration_ns_per_slot: int = 150
+
+    # --- structural constants -------------------------------------------------
+    #: virtual memory page size; sampling rates are defined relative to it.
+    page_size: int = 4096
+    #: machine word size (the paper's smallest object grain, 4 bytes).
+    word_size: int = 4
+
+    #: multiplier applied to workload-declared compute costs (lets tests
+    #: shrink pure compute without touching protocol cost ratios).
+    compute_scale: float = 1.0
+
+    def scaled_compute(self, ns: int) -> int:
+        """Apply :attr:`compute_scale` to a workload compute cost."""
+        if ns < 0:
+            raise ValueError(f"compute cost cannot be negative: {ns}")
+        return int(ns * self.compute_scale)
+
+    def with_overrides(self, **kwargs: object) -> "CostModel":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def gideon300(cls) -> "CostModel":
+        """Calibration preset matching the paper's evaluation platform."""
+        return cls()
+
+    @classmethod
+    def fast_test(cls) -> "CostModel":
+        """Preset for unit tests: identical ratios, tiny compute scale."""
+        return cls(compute_scale=0.01)
+
+
+@dataclass
+class CpuAccounting:
+    """Mutable per-thread CPU time breakdown, in nanoseconds.
+
+    Buckets mirror the paper's overhead decomposition: baseline execution
+    vs. each profiling component, so a run can report "profiling added
+    X% on top of the baseline" directly.
+    """
+
+    compute_ns: int = 0
+    access_ns: int = 0
+    protocol_ns: int = 0
+    oal_logging_ns: int = 0
+    oal_packing_ns: int = 0
+    resampling_ns: int = 0
+    stack_sampling_ns: int = 0
+    footprinting_ns: int = 0
+    resolution_ns: int = 0
+    migration_ns: int = 0
+    network_wait_ns: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_ns(self) -> int:
+        """Sum over every bucket."""
+        return (
+            self.compute_ns
+            + self.access_ns
+            + self.protocol_ns
+            + self.oal_logging_ns
+            + self.oal_packing_ns
+            + self.resampling_ns
+            + self.stack_sampling_ns
+            + self.footprinting_ns
+            + self.resolution_ns
+            + self.migration_ns
+            + self.network_wait_ns
+            + sum(self.extra.values())
+        )
+
+    @property
+    def profiling_ns(self) -> int:
+        """Time attributable to the profiling subsystems alone."""
+        return (
+            self.oal_logging_ns
+            + self.oal_packing_ns
+            + self.resampling_ns
+            + self.stack_sampling_ns
+            + self.footprinting_ns
+            + self.resolution_ns
+        )
+
+    def merge(self, other: "CpuAccounting") -> None:
+        """Accumulate another accounting record into this one."""
+        self.compute_ns += other.compute_ns
+        self.access_ns += other.access_ns
+        self.protocol_ns += other.protocol_ns
+        self.oal_logging_ns += other.oal_logging_ns
+        self.oal_packing_ns += other.oal_packing_ns
+        self.resampling_ns += other.resampling_ns
+        self.stack_sampling_ns += other.stack_sampling_ns
+        self.footprinting_ns += other.footprinting_ns
+        self.resolution_ns += other.resolution_ns
+        self.migration_ns += other.migration_ns
+        self.network_wait_ns += other.network_wait_ns
+        for key, val in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + val

@@ -1,0 +1,33 @@
+"""A cluster node: identity plus CPU-time accounting.
+
+Threads are the unit of execution in the simulator; a node aggregates
+the CPU accounting of the threads it hosts and owns a local heap (the
+heap object is attached by the DJVM at boot, keeping this module free of
+upward dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.costs import CpuAccounting
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.heap.heap import LocalHeap
+
+
+class Node:
+    """One machine in the simulated cluster."""
+
+    def __init__(self, node_id: int) -> None:
+        if node_id < 0:
+            raise ValueError(f"node id must be >= 0, got {node_id}")
+        self.node_id = node_id
+        self.cpu = CpuAccounting()
+        #: attached by the DJVM at boot.
+        self.heap: "LocalHeap | None" = None
+        #: thread ids currently hosted here (maintained by the DJVM).
+        self.thread_ids: set[int] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.node_id}, threads={sorted(self.thread_ids)})"

@@ -1,0 +1,17 @@
+"""Small utilities shared across the reproduction: prime search for
+sampling gaps, deterministic RNG streams, and argument validation."""
+
+from repro.util.primes import is_prime, nearest_prime, prime_gap_for_nominal
+from repro.util.rng import seeded_rng, split_rng
+from repro.util.validation import check_positive, check_non_negative, check_in_range
+
+__all__ = [
+    "is_prime",
+    "nearest_prime",
+    "prime_gap_for_nominal",
+    "seeded_rng",
+    "split_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+]

@@ -1,0 +1,26 @@
+"""Argument validation helpers.
+
+The simulator's public entry points validate eagerly so configuration
+mistakes fail at construction time with a clear message instead of
+surfacing as nonsense statistics after a long run.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")

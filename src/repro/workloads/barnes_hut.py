@@ -1,0 +1,439 @@
+"""Barnes-Hut hierarchical N-body (paper benchmark 2).
+
+The paper's configuration: 4K bodies forming **two galaxies** separated
+by ``distance`` (7.0) galaxy radii; each thread simulates a contiguous
+chunk of bodies, so threads of the same galaxy share heavily (bodies and
+their galaxy's octree cells) while cross-galaxy threads share only the
+top of the tree — the block-structured inherent correlation map of
+Fig. 1(a) that page-grain tracking destroys.
+
+The simulation is real: Plummer-like galaxies are generated, a bounding
+octree is rebuilt every round, per-body force traversals use the
+standard opening criterion ``cell_size / dist < theta``, and positions
+integrate forward between rounds.  What reaches the DJVM is the object
+access stream of those traversals, aggregated per (thread, phase,
+object) with repeat counts so op streams stay tractable at paper scale.
+
+Object model (the classes of the paper's Table IV):
+
+* ``Body`` (96 B) — one particle; refs its three ``Vect3`` vectors.
+* ``Vect3`` (40 B) — position / velocity / acceleration vector.
+* ``Cell`` (144 B) — internal octree node; refs its children.
+* ``Leaf`` (56 B) — terminal node; refs a ``Body[]`` with its bodies.
+* ``Body[]`` — reference arrays (the global body list and leaf lists).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.util.rng import seeded_rng
+from repro.workloads.base import Workload, WorkloadSpec
+
+#: simulated cost of one body-body or body-cell interaction (force terms
+#: plus traversal bookkeeping on a P4-era JVM), ns.  Calibrated against
+#: the paper's Table II/V single-thread baselines (53-94 s for 4K x 5).
+INTERACTION_NS = 3_000
+#: temp-frame churn: a fresh walk frame every this many emitted reads.
+FRAME_CHURN_READS = 64
+
+
+@dataclass
+class _TreeNode:
+    """One node of the build-side octree (pre-allocation)."""
+
+    center: np.ndarray
+    half: float
+    bodies: list[int] = field(default_factory=list)
+    children: list["_TreeNode"] = field(default_factory=list)
+    is_leaf: bool = True
+    #: filled at allocation: heap object ids.
+    obj_id: int = -1
+    arr_id: int = -1  # leaf body-array object
+    #: aggregate mass position (approximated by centroid for traversal);
+    #: kept as a plain tuple so the traversal hot loop avoids numpy calls.
+    centroid: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    count: int = 0
+
+
+class BarnesHutWorkload(Workload):
+    """Two-galaxy Barnes-Hut N-body simulation."""
+
+    def __init__(
+        self,
+        n_bodies: int = 4096,
+        rounds: int = 5,
+        n_threads: int = 16,
+        *,
+        theta: float = 0.7,
+        leaf_capacity: int = 8,
+        galaxy_distance: float = 7.0,
+        dt: float = 0.025,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_threads=n_threads, seed=seed)
+        if n_bodies < n_threads:
+            raise ValueError(f"{n_bodies} bodies cannot feed {n_threads} threads")
+        if not 0 < theta < 2:
+            raise ValueError(f"theta must be in (0, 2), got {theta}")
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf capacity must be >= 1, got {leaf_capacity}")
+        self.n_bodies = n_bodies
+        self.rounds = rounds
+        self.theta = theta
+        self.leaf_capacity = leaf_capacity
+        self.galaxy_distance = galaxy_distance
+        self.dt = dt
+        # Filled by build():
+        self.body_ids: list[int] = []
+        self.vect_ids: list[tuple[int, int, int]] = []  # (pos, vel, acc) per body
+        self.bodies_arr_id: int = -1
+        self.galaxy_of: np.ndarray | None = None
+        #: per-round: (root_obj_id, per-thread read Counters, tree node count)
+        self._round_plans: list[tuple[int, list[Counter], int]] = []
+
+    def spec(self) -> WorkloadSpec:
+        """Descriptive characteristics (Table I row)."""
+        return WorkloadSpec(
+            name="Barnes-Hut",
+            data_set=f"{self.n_bodies} bodies",
+            rounds=self.rounds,
+            granularity="Fine",
+            object_size="each body less than 100 bytes",
+        )
+
+    # ------------------------------------------------------------------
+    # galaxy generation & body ordering
+    # ------------------------------------------------------------------
+
+    def _generate_galaxies(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Positions, velocities and galaxy labels for all bodies.
+
+        Two Plummer-like clusters of equal population, centres separated
+        by ``galaxy_distance`` cluster radii along x; each cluster gets a
+        bulk drift plus internal rotation so the tree changes per round.
+        """
+        rng = seeded_rng(self.seed, "barnes_hut", "galaxies")
+        n = self.n_bodies
+        n0 = n // 2
+        labels = np.zeros(n, dtype=np.int64)
+        labels[n0:] = 1
+        pos = np.empty((n, 3))
+        vel = np.empty((n, 3))
+        radius = 1.0
+        centers = np.array(
+            [[0.0, 0.0, 0.0], [self.galaxy_distance * radius, 0.0, 0.0]]
+        )
+        drift = np.array([[0.05, 0.02, 0.0], [-0.05, -0.02, 0.0]])
+        for g, (lo, hi) in enumerate(((0, n0), (n0, n))):
+            m = hi - lo
+            r = radius * rng.standard_normal((m, 3)) * 0.35
+            pos[lo:hi] = centers[g] + r
+            # Solid-body-ish rotation about z plus bulk drift.
+            omega = 0.6 if g == 0 else -0.6
+            vel[lo:hi, 0] = -omega * r[:, 1] + drift[g, 0]
+            vel[lo:hi, 1] = omega * r[:, 0] + drift[g, 1]
+            vel[lo:hi, 2] = drift[g, 2] + 0.01 * rng.standard_normal(m)
+        return pos, vel, labels
+
+    @staticmethod
+    def _morton_order(pos: np.ndarray) -> np.ndarray:
+        """Spatial (Morton/Z-curve) ordering of points, the costzone-like
+        ordering that makes contiguous chunks spatially compact."""
+        mins = pos.min(axis=0)
+        span = np.maximum(pos.max(axis=0) - mins, 1e-9)
+        q = ((pos - mins) / span * 1023).astype(np.int64)  # 10 bits/axis
+
+        def spread(v: np.ndarray) -> np.ndarray:
+            v = v & 0x3FF
+            v = (v | (v << 16)) & 0x030000FF
+            v = (v | (v << 8)) & 0x0300F00F
+            v = (v | (v << 4)) & 0x030C30C3
+            v = (v | (v << 2)) & 0x09249249
+            return v
+
+        code = spread(q[:, 0]) | (spread(q[:, 1]) << 1) | (spread(q[:, 2]) << 2)
+        return np.argsort(code, kind="stable")
+
+    # ------------------------------------------------------------------
+    # octree
+    # ------------------------------------------------------------------
+
+    def _build_tree(self, pos: np.ndarray) -> _TreeNode:
+        center = (pos.min(axis=0) + pos.max(axis=0)) / 2
+        half = float(np.max(pos.max(axis=0) - pos.min(axis=0)) / 2) + 1e-9
+        root = _TreeNode(center=center, half=half, bodies=list(range(len(pos))))
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if len(node.bodies) <= self.leaf_capacity:
+                node.is_leaf = True
+                node.count = len(node.bodies)
+                c = pos[node.bodies].mean(axis=0) if node.bodies else node.center
+                node.centroid = (float(c[0]), float(c[1]), float(c[2]))
+                continue
+            node.is_leaf = False
+            node.count = len(node.bodies)
+            c = pos[node.bodies].mean(axis=0)
+            node.centroid = (float(c[0]), float(c[1]), float(c[2]))
+            buckets: dict[int, list[int]] = {}
+            for b in node.bodies:
+                octant = (
+                    (pos[b, 0] > node.center[0])
+                    | ((pos[b, 1] > node.center[1]) << 1)
+                    | ((pos[b, 2] > node.center[2]) << 2)
+                )
+                buckets.setdefault(int(octant), []).append(b)
+            node.bodies = []
+            h = node.half / 2
+            for octant, members in sorted(buckets.items()):
+                offset = np.array(
+                    [
+                        h if octant & 1 else -h,
+                        h if octant & 2 else -h,
+                        h if octant & 4 else -h,
+                    ]
+                )
+                child = _TreeNode(center=node.center + offset, half=h, bodies=members)
+                node.children.append(child)
+                stack.append(child)
+        return root
+
+    def _traverse(self, root: _TreeNode, pos: np.ndarray, b: int) -> tuple[list[_TreeNode], list[int]]:
+        """Force traversal for body ``b``: returns (visited nodes,
+        interacting body indices)."""
+        visited: list[_TreeNode] = []
+        partners: list[int] = []
+        px, py, pz = float(pos[b, 0]), float(pos[b, 1]), float(pos[b, 2])
+        theta = self.theta
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            visited.append(node)
+            if node.is_leaf:
+                partners.extend(i for i in node.bodies if i != b)
+                continue
+            cx, cy, cz = node.centroid
+            d = math.sqrt((cx - px) ** 2 + (cy - py) ** 2 + (cz - pz) ** 2) + 1e-12
+            if (2 * node.half) / d < theta:
+                continue  # far enough: the cell's aggregate suffices
+            stack.extend(node.children)
+        return visited, partners
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+
+    def build(self, djvm: DJVM, *, placement: str = "block") -> None:
+        """Define classes, allocate the object graph, spawn threads."""
+        self._spawn(djvm, placement)
+        reg = djvm.registry
+        body_cls = reg.define("Body", 96)
+        vect_cls = reg.define("Vect3", 40)
+        cell_cls = reg.define("Cell", 144)
+        leaf_cls = reg.define("Leaf", 56)
+        arr_cls = reg.define("Body[]", is_array=True, element_size=4)
+
+        pos, vel, labels = self._generate_galaxies()
+        # Costzone-like assignment: bodies ordered by (galaxy, Morton) so
+        # each thread's contiguous chunk is one spatially compact region
+        # of one galaxy (threads split per galaxy when counts allow).
+        order = np.lexsort((self._morton_order(pos).argsort(), labels))
+        pos, vel, labels = pos[order], vel[order], labels[order]
+        self.galaxy_of = labels
+
+        self._owner = np.zeros(self.n_bodies, dtype=np.int64)
+        for t in range(self.n_threads):
+            self._owner[self.block_range(self.n_bodies, t, self.n_threads)] = t
+
+        # Allocate bodies in index order (vectors interleaved with the
+        # body, as a Java constructor would), homed at the owner's node.
+        # Real BH code also allocates short-lived Vect3 temporaries in its
+        # vector math; a jittered count per body reproduces that, which
+        # keeps the Vect3 sequence-number stream from being an exact
+        # 3-cycle (an exact cycle would defeat even a prime sampling gap
+        # of 3: every sampled vector would be a position vector).
+        alloc_rng = seeded_rng(self.seed, "barnes_hut", "transient_allocs")
+        for i in range(self.n_bodies):
+            node = self.node_of(int(self._owner[i]))
+            pv = djvm.allocate(vect_cls, node).obj_id
+            vv = djvm.allocate(vect_cls, node).obj_id
+            av = djvm.allocate(vect_cls, node).obj_id
+            body = djvm.allocate(body_cls, node, refs=[pv, vv, av])
+            self.body_ids.append(body.obj_id)
+            self.vect_ids.append((pv, vv, av))
+            for _ in range(int(alloc_rng.integers(0, 3))):
+                djvm.allocate(vect_cls, node)  # transient, never accessed
+        bodies_arr = djvm.allocate(
+            arr_cls, self.node_of(0), length=self.n_bodies, refs=self.body_ids
+        )
+        self.bodies_arr_id = bodies_arr.obj_id
+
+        # Precompute every round: integrate, rebuild the tree, allocate
+        # its nodes, and aggregate each thread's traversal accesses.
+        self._round_plans = []
+        for _round in range(self.rounds):
+            root = self._build_tree(pos)
+            root_id, n_nodes = self._allocate_tree(djvm, root, cell_cls, leaf_cls, arr_cls)
+            per_thread = [Counter() for _ in range(self.n_threads)]
+            for b in range(self.n_bodies):
+                t = int(self._owner[b])
+                visited, partners = self._traverse(root, pos, b)
+                counter = per_thread[t]
+                for node in visited:
+                    counter[node.obj_id] += 1
+                    if node.is_leaf and node.arr_id >= 0:
+                        counter[node.arr_id] += 1
+                for i in partners:
+                    counter[self.body_ids[i]] += 1
+                    # The interaction reads the partner's position vector.
+                    counter[self.vect_ids[i][0]] += 1
+            self._round_plans.append((root_id, per_thread, n_nodes))
+            pos = pos + vel * self.dt
+
+    def _allocate_tree(self, djvm: DJVM, root: _TreeNode, cell_cls, leaf_cls, arr_cls) -> tuple[int, int]:
+        """Allocate heap objects for one round's tree.  Each node is homed
+        at the node of the thread owning the majority of bodies beneath it
+        (the steady state home migration converges to); allocation happens
+        in depth-first build order so the page map interleaves subtrees."""
+        count = 0
+
+        def dominant_thread(node: _TreeNode) -> int:
+            if node.is_leaf:
+                owners = [int(self._owner[b]) for b in node.bodies]
+            else:
+                owners = []
+                stack = [node]
+                while stack and len(owners) < 64:
+                    cur = stack.pop()
+                    if cur.is_leaf:
+                        owners.extend(int(self._owner[b]) for b in cur.bodies)
+                    else:
+                        stack.extend(cur.children)
+            if not owners:
+                return 0
+            return Counter(owners).most_common(1)[0][0]
+
+        def alloc(node: _TreeNode) -> int:
+            nonlocal count
+            count += 1
+            home = self.node_of(dominant_thread(node))
+            if node.is_leaf:
+                refs = [self.body_ids[b] for b in node.bodies]
+                if refs:
+                    arr = djvm.allocate(arr_cls, home, length=max(len(refs), 1), refs=refs)
+                    node.arr_id = arr.obj_id
+                    leaf = djvm.allocate(leaf_cls, home, refs=[arr.obj_id])
+                else:
+                    leaf = djvm.allocate(leaf_cls, home)
+                node.obj_id = leaf.obj_id
+                return leaf.obj_id
+            child_ids = [alloc(c) for c in node.children]
+            cell = djvm.allocate(cell_cls, home, refs=child_ids)
+            node.obj_id = cell.obj_id
+            return cell.obj_id
+
+        root_id = alloc(root)
+        return root_id, count
+
+    # ------------------------------------------------------------------
+    # programs
+    # ------------------------------------------------------------------
+
+    def bodies_of(self, thread_id: int) -> range:
+        """Body indices owned by one thread."""
+        return self.block_range(self.n_bodies, thread_id, self.n_threads)
+
+    def program(self, thread_id: int):
+        """The op stream for one thread."""
+        return self._generate(thread_id)
+
+    def _generate(self, thread_id: int):
+        own = list(self.bodies_of(thread_id))
+        barrier_seq = 0
+        tree_lock = 0
+        yield P.call("BarnesHut.run", n_slots=6, refs=[(0, self.bodies_arr_id)])
+        yield P.read(self.bodies_arr_id, n_elems=len(own), elem_off=own[0])
+        for rnd in range(self.rounds):
+            root_id, per_thread, _n_nodes = self._round_plans[rnd]
+            # --- phase A: tree build (lock-serialized insertions) --------
+            yield P.call("BarnesHut.maketree", n_slots=4, refs=[(0, root_id)])
+            for b in own:
+                yield P.read(self.body_ids[b])
+            yield P.acquire(tree_lock)
+            # Insertion path writes: the cells along each own body's path;
+            # approximated by the nodes this thread's traversals meet
+            # (paths share the tree's upper levels).
+            yield P.write(root_id, repeat=len(own))
+            yield P.compute(len(own) * INTERACTION_NS)
+            yield P.release(tree_lock)
+            yield P.ret()
+            yield P.barrier(barrier_seq)
+            barrier_seq += 1
+
+            # --- phase B: force computation ------------------------------
+            yield P.call(
+                "BarnesHut.computeForces",
+                n_slots=6,
+                refs=[(0, root_id), (1, self.bodies_arr_id)],
+            )
+            # Emit each object's accesses in two interleaved passes so an
+            # object visited by many traversals is seen both early and
+            # late in the interval — the temporal spread real traversals
+            # have, which sticky-set footprinting depends on.  Objects
+            # visited once appear in the first pass only.
+            reads = per_thread[thread_id]
+            emitted = 0
+            frame_open = False
+            pending_compute = 0
+            for pass_no in (0, 1):
+                for obj_id, cnt in reads.items():
+                    if pass_no == 0:
+                        rep = (cnt + 1) // 2
+                    else:
+                        rep = cnt // 2
+                        if rep == 0:
+                            continue
+                    if emitted % FRAME_CHURN_READS == 0:
+                        if frame_open:
+                            yield P.ret()
+                        yield P.call("BarnesHut.walkSub", n_slots=3, refs=[(0, obj_id)])
+                        frame_open = True
+                    yield P.read(obj_id, repeat=rep)
+                    # Interleave the force arithmetic with the accesses, as
+                    # the real traversal does (chunked to bound op count).
+                    pending_compute += rep * INTERACTION_NS
+                    emitted += 1
+                    if emitted % 16 == 0:
+                        yield P.compute(pending_compute)
+                        pending_compute = 0
+            if pending_compute:
+                yield P.compute(pending_compute)
+            if frame_open:
+                yield P.ret()
+            # Acceleration writes to own bodies' acc vectors.
+            for b in own:
+                yield P.write(self.vect_ids[b][2])
+            yield P.ret()
+            yield P.barrier(barrier_seq)
+            barrier_seq += 1
+
+            # --- phase C: position integration ---------------------------
+            yield P.call("BarnesHut.advance", n_slots=4, refs=[(0, self.bodies_arr_id)])
+            for b in own:
+                pv, vv, av = self.vect_ids[b]
+                yield P.read(self.body_ids[b])
+                yield P.read(av)
+                yield P.write(vv)
+                yield P.write(pv)
+            yield P.compute(len(own) * INTERACTION_NS)
+            yield P.ret()
+            yield P.barrier(barrier_seq)
+            barrier_seq += 1
+        yield P.ret()

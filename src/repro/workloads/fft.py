@@ -1,0 +1,163 @@
+"""FFT: the SPLASH-2 six-step FFT's sharing skeleton (extension workload).
+
+Not in the paper's evaluation, but the classic *all-to-all* counterpoint
+to its three benchmarks: ``n`` complex points held as a ``sqrt(n) x
+sqrt(n)`` matrix of row arrays, threads owning contiguous row blocks.
+Each iteration: (1) 1-D FFTs over own rows, (2) a global **transpose**
+in which every thread reads a column slice of *every other thread's*
+rows, (3) FFTs over own rows again — barriers between phases.
+
+The transpose makes every thread pair exchange the same volume, so the
+ground-truth TCM is *flat*: correlation-aware placement can gain nothing
+(every partition is equally good), which makes FFT the negative control
+for the placement pipeline — a correct balancer proposes no migrations.
+
+Classes: ``complex[]`` row arrays (16 B elements) plus the row-pointer
+spine, coarse-grained like SOR but with the opposite sharing topology.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.workloads.base import Workload, WorkloadSpec
+
+#: simulated cost of one butterfly (complex multiply-add + twiddle), ns.
+BUTTERFLY_NS = 160
+
+
+class FFTWorkload(Workload):
+    """Six-step FFT over ``n_points`` complex points."""
+
+    def __init__(
+        self,
+        n_points: int = 65536,
+        rounds: int = 4,
+        n_threads: int = 8,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_threads=n_threads, seed=seed)
+        side = math.isqrt(n_points)
+        if side * side != n_points:
+            raise ValueError(f"n_points must be a perfect square, got {n_points}")
+        if side < n_threads:
+            raise ValueError(f"{side} rows cannot feed {n_threads} threads")
+        self.n_points = n_points
+        self.side = side
+        self.rounds = rounds
+        self.row_ids: list[int] = []
+        self.trans_ids: list[int] = []
+        self.matrix_id: int | None = None
+
+    def spec(self) -> WorkloadSpec:
+        """Descriptive characteristics (Table I-style row)."""
+        return WorkloadSpec(
+            name="FFT",
+            data_set=f"{self.n_points} points ({self.side} x {self.side})",
+            rounds=self.rounds,
+            granularity="Coarse / all-to-all",
+            object_size=f"each row {16 * self.side} bytes",
+        )
+
+    # ------------------------------------------------------------------
+
+    def build(self, djvm: DJVM, *, placement: str | list[int] = "block") -> None:
+        """Define classes, allocate both matrices, spawn threads."""
+        self._spawn(djvm, placement)
+        reg = djvm.registry
+        row_cls = reg.define("complex[]", is_array=True, element_size=16)
+        spine_cls = reg.define("complex[][]", is_array=True, element_size=4)
+
+        owner_of_row = [0] * self.side
+        for t in range(self.n_threads):
+            for r in self.block_range(self.side, t, self.n_threads):
+                owner_of_row[r] = self.node_of(t)
+        # Source and transpose-destination matrices, rows homed with their
+        # owning thread.
+        self.row_ids = [
+            djvm.allocate(row_cls, owner_of_row[r], length=self.side).obj_id
+            for r in range(self.side)
+        ]
+        self.trans_ids = [
+            djvm.allocate(row_cls, owner_of_row[r], length=self.side).obj_id
+            for r in range(self.side)
+        ]
+        spine = djvm.allocate(
+            spine_cls, self.node_of(0), length=self.side, refs=self.row_ids
+        )
+        self.matrix_id = spine.obj_id
+
+    def rows_of(self, thread_id: int) -> range:
+        """Row indices owned by one thread."""
+        return self.block_range(self.side, thread_id, self.n_threads)
+
+    def true_tcm(self) -> np.ndarray:
+        """Ground truth: every pair exchanges the same transpose volume.
+
+        During the transpose, thread ``i`` reads a ``rows_i x rows_j``
+        sub-block of each thread ``j``'s rows — for the balanced block
+        partition that is the same byte count for every ordered pair.
+        """
+        n = self.n_threads
+        block = self.side // n
+        shared = block * block * 16  # bytes of j's data read by i per row pair
+        tcm = np.full((n, n), float(shared * n))  # per round; relative shape
+        np.fill_diagonal(tcm, 0.0)
+        return tcm
+
+    # ------------------------------------------------------------------
+
+    def program(self, thread_id: int):
+        """The op stream for one thread."""
+        return self._generate(thread_id)
+
+    def _generate(self, thread_id: int):
+        assert self.matrix_id is not None, "build() must run first"
+        own = list(self.rows_of(thread_id))
+        side = self.side
+        log_side = max(1, side.bit_length() - 1)
+        fft_cost = side * log_side * BUTTERFLY_NS  # one row's 1-D FFT
+        block = len(own)
+        barrier_seq = 0
+        yield P.call("FFT.run", n_slots=6, refs=[(0, self.matrix_id)])
+        yield P.read(self.matrix_id, n_elems=block)
+        for _round in range(self.rounds):
+            # --- step 1: 1-D FFTs over own rows -------------------------
+            yield P.call("FFT.ffts", n_slots=4, refs=[(0, self.matrix_id)])
+            for r in own:
+                yield P.read(self.row_ids[r], n_elems=side)
+                yield P.compute(fft_cost)
+                yield P.write(self.row_ids[r], n_elems=side)
+            yield P.ret()
+            yield P.barrier(barrier_seq)
+            barrier_seq += 1
+
+            # --- step 2: global transpose (the all-to-all) ---------------
+            yield P.call("FFT.transpose", n_slots=4, refs=[(0, self.matrix_id)])
+            for src in range(side):
+                # Each source row contributes a `block`-wide column slice
+                # to this thread's destination rows.
+                yield P.read(
+                    self.row_ids[src], n_elems=block, elem_off=own[0]
+                )
+            for r in own:
+                yield P.write(self.trans_ids[r], n_elems=side)
+            yield P.compute(block * side * 40)  # scatter/gather copies
+            yield P.ret()
+            yield P.barrier(barrier_seq)
+            barrier_seq += 1
+
+            # --- step 3: FFTs over the transposed rows -------------------
+            yield P.call("FFT.ffts2", n_slots=4, refs=[(0, self.matrix_id)])
+            for r in own:
+                yield P.read(self.trans_ids[r], n_elems=side)
+                yield P.compute(fft_cost)
+                yield P.write(self.trans_ids[r], n_elems=side)
+            yield P.ret()
+            yield P.barrier(barrier_seq)
+            barrier_seq += 1
+        yield P.ret()

@@ -1,0 +1,122 @@
+"""SOR: red-black successive over-relaxation (paper benchmark 1).
+
+An ``n x n`` double matrix stored as ``n`` row objects (``double[]`` of
+length ``n``, i.e. ``8n`` bytes — "each row at least several KB" for the
+paper's 2K columns).  Threads own contiguous row blocks; every round has
+a red and a black phase, each phase sweeping the thread's rows reading
+the rows above and below (the near-neighbour sharing pattern) and
+writing its own, with a global barrier after each phase.
+
+This is the *row-coloured* red-black variant: a phase updates alternate
+whole rows (half the cells each) rather than a checkerboard within every
+row.  At object (row) granularity the two variants generate identical
+sharing — each updated row reads its two neighbours — which is the level
+this reproduction observes.
+
+Sharing profile ground truth: thread t shares exactly its block-boundary
+rows with threads t-1 and t+1 — a tridiagonal TCM.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.workloads.base import Workload, WorkloadSpec
+
+#: simulated cost of relaxing one matrix cell (flops + loads + inlined
+#: bounds/state checks on a JIT-compiled P4-era JVM), ns.  Calibrated so
+#: a single-threaded 2K x 2K x 10-round run lands near the paper's
+#: Table II baseline (~24 s).
+CELL_COMPUTE_NS = 1150
+
+
+class SORWorkload(Workload):
+    """Red-black SOR over an ``n x n`` matrix of doubles."""
+
+    def __init__(
+        self,
+        n: int = 2048,
+        rounds: int = 10,
+        n_threads: int = 8,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_threads=n_threads, seed=seed)
+        if n < n_threads:
+            raise ValueError(f"matrix of {n} rows cannot feed {n_threads} threads")
+        self.n = n
+        self.rounds = rounds
+        self.row_ids: list[int] = []
+        self.matrix_id: int | None = None
+
+    def spec(self) -> WorkloadSpec:
+        """Descriptive characteristics (Table I row)."""
+        return WorkloadSpec(
+            name="SOR",
+            data_set=f"{self.n} x {self.n}",
+            rounds=self.rounds,
+            granularity="Coarse",
+            object_size=f"each row {8 * self.n} bytes",
+        )
+
+    # ------------------------------------------------------------------
+
+    def build(self, djvm: DJVM, *, placement: str = "block") -> None:
+        """Define classes, allocate the object graph, spawn threads."""
+        self._spawn(djvm, placement)
+        reg = djvm.registry
+        row_cls = reg.define("double[]", is_array=True, element_size=8)
+        matrix_cls = reg.define("double[][]", is_array=True, element_size=4)
+
+        # Rows are homed with their owning thread's node (the steady state
+        # home migration reaches: each row has one dominant writer).
+        owner_of_row = [0] * self.n
+        for t in range(self.n_threads):
+            for r in self.block_range(self.n, t, self.n_threads):
+                owner_of_row[r] = self.node_of(t)
+        self.row_ids = [
+            djvm.allocate(row_cls, owner_of_row[r], length=self.n).obj_id
+            for r in range(self.n)
+        ]
+        matrix = djvm.allocate(
+            matrix_cls, self.node_of(0), length=self.n, refs=self.row_ids
+        )
+        self.matrix_id = matrix.obj_id
+
+    # ------------------------------------------------------------------
+
+    def rows_of(self, thread_id: int) -> range:
+        """Row indices owned by one thread."""
+        return self.block_range(self.n, thread_id, self.n_threads)
+
+    def program(self, thread_id: int):
+        """Generator of the thread's ops (lazy: rounds stream out)."""
+        return self._generate(thread_id)
+
+    def _generate(self, thread_id: int):
+        assert self.matrix_id is not None, "build() must run first"
+        rows = self.rows_of(thread_id)
+        n = self.n
+        barrier_seq = 0
+        # run() frame: the matrix reference lives here for the whole run —
+        # the canonical stack invariant.
+        yield P.call("SOR.run", n_slots=6, refs=[(0, self.matrix_id)])
+        yield P.read(self.matrix_id, n_elems=len(rows))
+        for _round in range(self.rounds):
+            for color in (0, 1):  # red, black
+                yield P.call("SOR.phase", n_slots=4, refs=[(0, self.matrix_id)])
+                half = n // 2
+                for r in rows:
+                    if r % 2 != color:
+                        continue
+                    # Near-neighbour stencil: rows r-1 and r+1 are read.
+                    if r > 0:
+                        yield P.read(self.row_ids[r - 1], n_elems=half)
+                    yield P.read(self.row_ids[r], n_elems=half)
+                    if r < n - 1:
+                        yield P.read(self.row_ids[r + 1], n_elems=half)
+                    yield P.compute(half * CELL_COMPUTE_NS)
+                    yield P.write(self.row_ids[r], n_elems=half)
+                yield P.ret()
+                yield P.barrier(barrier_seq)
+                barrier_seq += 1
+        yield P.ret()

@@ -1,0 +1,258 @@
+"""Water-Spatial molecular dynamics (paper benchmark 3).
+
+Molecules live in a 3D grid of cells (spatial decomposition); each
+thread owns a contiguous slab of cells and each round computes
+interactions between its molecules and those in the 26-neighbourhood
+(within cutoff), then integrates positions — molecules drift between
+cells over time, giving the "evolving load distribution" the paper
+cites.  Sharing is medium-grained (each molecule ~512 bytes across its
+scalar part and coordinate array) with a near-neighbour 3D-box pattern.
+
+Object model:
+
+* ``Molecule`` (424 B) — scalar part; refs its coordinate array.
+* ``double[]`` (9 doubles = 72 B payload) — per-molecule atom coords.
+* ``Cell`` (64 B) — one grid box; refs its ``Molecule[]`` list.
+* ``Molecule[]`` — per-cell membership array, rewritten when molecules
+  move between cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.util.rng import seeded_rng
+from repro.workloads.base import Workload, WorkloadSpec
+
+#: simulated cost of one molecule-pair interaction (all atom-atom force
+#: terms of a water potential), ns.  Calibrated against the paper's
+#: Table II single-thread baseline (~29 s for 512 molecules x 5 rounds).
+PAIR_COMPUTE_NS = 87_000
+#: fraction of a cell's linear size a molecule moves per round (keeps
+#: migrations between cells occasional but present).
+DRIFT_STEP = 0.18
+
+
+class WaterSpatialWorkload(Workload):
+    """Spatial-decomposition water simulation."""
+
+    def __init__(
+        self,
+        n_molecules: int = 512,
+        rounds: int = 5,
+        n_threads: int = 8,
+        *,
+        grid: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_threads=n_threads, seed=seed)
+        if grid < 1:
+            raise ValueError(f"grid must be >= 1, got {grid}")
+        n_cells = grid**3
+        if n_cells < n_threads:
+            raise ValueError(f"{n_cells} cells cannot feed {n_threads} threads")
+        self.n_molecules = n_molecules
+        self.rounds = rounds
+        self.grid = grid
+        self.mol_ids: list[int] = []
+        self.coord_ids: list[int] = []
+        self.cell_obj_ids: list[int] = []
+        self.cell_arr_ids: list[int] = []
+        #: per-round: cell membership (cell -> molecule indices) and moves
+        #: (thread -> list of (mol, from_cell, to_cell)).
+        self._rounds_members: list[list[list[int]]] = []
+        self._rounds_moves: list[dict[int, list[tuple[int, int, int]]]] = []
+
+    def spec(self) -> WorkloadSpec:
+        """Descriptive characteristics (Table I row)."""
+        return WorkloadSpec(
+            name="Water-Spatial",
+            data_set=f"{self.n_molecules} molecules",
+            rounds=self.rounds,
+            granularity="Medium",
+            object_size="each molecule about 512 bytes",
+        )
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+
+    def cell_index(self, c: tuple[int, int, int]) -> int:
+        """Flatten 3D cell coordinates to an index."""
+        x, y, z = c
+        return (x * self.grid + y) * self.grid + z
+
+    def cell_coords(self, idx: int) -> tuple[int, int, int]:
+        """Unflatten a cell index to 3D coordinates."""
+        z = idx % self.grid
+        y = (idx // self.grid) % self.grid
+        x = idx // (self.grid * self.grid)
+        return x, y, z
+
+    def neighbours(self, idx: int) -> list[int]:
+        """The 26-neighbourhood (non-periodic) of a cell, plus itself."""
+        x, y, z = self.cell_coords(idx)
+        out = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    nx, ny, nz = x + dx, y + dy, z + dz
+                    if 0 <= nx < self.grid and 0 <= ny < self.grid and 0 <= nz < self.grid:
+                        out.append(self.cell_index((nx, ny, nz)))
+        return out
+
+    def cells_of(self, thread_id: int) -> range:
+        """Contiguous slab of cells owned by one thread (x-major order =
+        slabs along the x axis)."""
+        return self.block_range(self.grid**3, thread_id, self.n_threads)
+
+    def owner_of_cell(self, idx: int) -> int:
+        """Thread owning a grid cell."""
+        n_cells = self.grid**3
+        for t in range(self.n_threads):
+            if idx in self.cells_of(t):
+                return t
+        raise IndexError(f"cell {idx} out of range 0..{n_cells - 1}")
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+
+    def build(self, djvm: DJVM, *, placement: str = "block") -> None:
+        """Define classes, allocate the object graph, spawn threads."""
+        self._spawn(djvm, placement)
+        reg = djvm.registry
+        mol_cls = reg.define("Molecule", 424)
+        coord_cls = reg.define("double[]", is_array=True, element_size=8)
+        cell_cls = reg.define("WSCell", 64)
+        marr_cls = reg.define("Molecule[]", is_array=True, element_size=4)
+
+        n_cells = self.grid**3
+        rng = seeded_rng(self.seed, "water_spatial", "positions")
+        # Continuous positions in [0, grid)^3; derive cell membership.
+        pos = rng.uniform(0, self.grid, size=(self.n_molecules, 3))
+        # A slow, spatially coherent drift field: molecules flow towards
+        # +x over the run, shifting load between thread slabs.
+        drift = np.array([DRIFT_STEP, 0.0, 0.0])
+        jitter_rng = seeded_rng(self.seed, "water_spatial", "jitter")
+
+        def membership(p: np.ndarray) -> list[list[int]]:
+            cells: list[list[int]] = [[] for _ in range(n_cells)]
+            idx = np.clip(p.astype(np.int64), 0, self.grid - 1)
+            for m in range(self.n_molecules):
+                cells[self.cell_index((int(idx[m, 0]), int(idx[m, 1]), int(idx[m, 2])))].append(m)
+            return cells
+
+        members0 = membership(pos)
+
+        # Molecules homed at the node of the thread owning their initial
+        # cell; allocated in cell order (a locality-aware initialization).
+        mol_home = [0] * self.n_molecules
+        for c in range(n_cells):
+            owner = self.owner_of_cell(c)
+            for m in members0[c]:
+                mol_home[m] = self.node_of(owner)
+        self.mol_ids = [0] * self.n_molecules
+        self.coord_ids = [0] * self.n_molecules
+        for c in range(n_cells):
+            for m in members0[c]:
+                coords = djvm.allocate(coord_cls, mol_home[m], length=9)
+                mol = djvm.allocate(mol_cls, mol_home[m], refs=[coords.obj_id])
+                self.mol_ids[m] = mol.obj_id
+                self.coord_ids[m] = coords.obj_id
+        for c in range(n_cells):
+            home = self.node_of(self.owner_of_cell(c))
+            arr = djvm.allocate(
+                marr_cls,
+                home,
+                length=max(len(members0[c]), 1),
+                refs=[self.mol_ids[m] for m in members0[c]],
+            )
+            cell = djvm.allocate(cell_cls, home, refs=[arr.obj_id])
+            self.cell_arr_ids.append(arr.obj_id)
+            self.cell_obj_ids.append(cell.obj_id)
+
+        # Precompute per-round membership and inter-cell moves.
+        self._rounds_members = []
+        self._rounds_moves = []
+        members = members0
+        for _round in range(self.rounds):
+            self._rounds_members.append([list(ms) for ms in members])
+            pos = pos + drift + 0.05 * jitter_rng.standard_normal(pos.shape)
+            pos = np.clip(pos, 0.0, self.grid - 1e-9)
+            new_members = membership(pos)
+            cell_of_old = {m: c for c, ms in enumerate(members) for m in ms}
+            cell_of_new = {m: c for c, ms in enumerate(new_members) for m in ms}
+            moves: dict[int, list[tuple[int, int, int]]] = {}
+            for m in range(self.n_molecules):
+                old_c, new_c = cell_of_old[m], cell_of_new[m]
+                if old_c != new_c:
+                    owner = self.owner_of_cell(old_c)
+                    moves.setdefault(owner, []).append((m, old_c, new_c))
+            self._rounds_moves.append(moves)
+            members = new_members
+
+    # ------------------------------------------------------------------
+    # programs
+    # ------------------------------------------------------------------
+
+    def program(self, thread_id: int):
+        """The op stream for one thread."""
+        return self._generate(thread_id)
+
+    def _generate(self, thread_id: int):
+        own_cells = list(self.cells_of(thread_id))
+        barrier_seq = 0
+        anchor_cell = self.cell_obj_ids[own_cells[0]]
+        yield P.call("Water.run", n_slots=6, refs=[(0, anchor_cell)])
+        for rnd in range(self.rounds):
+            members = self._rounds_members[rnd]
+            # --- force phase -------------------------------------------
+            yield P.call("Water.interf", n_slots=5, refs=[(0, anchor_cell)])
+            for c in own_cells:
+                own_mols = members[c]
+                if not own_mols:
+                    continue
+                yield P.call("Water.cellPairs", n_slots=3, refs=[(0, self.cell_obj_ids[c])])
+                yield P.read(self.cell_obj_ids[c])
+                yield P.read(self.cell_arr_ids[c], n_elems=max(len(own_mols), 1))
+                pair_count = 0
+                for nb in self.neighbours(c):
+                    nb_mols = members[nb]
+                    if not nb_mols:
+                        continue
+                    if nb != c:
+                        yield P.read(self.cell_obj_ids[nb])
+                        yield P.read(self.cell_arr_ids[nb], n_elems=max(len(nb_mols), 1))
+                    for m in nb_mols:
+                        # Each neighbour molecule is read (scalar + coords)
+                        # once per own molecule pairing; aggregate repeats.
+                        reps = len(own_mols) if nb != c else max(len(own_mols) - 1, 1)
+                        yield P.read(self.mol_ids[m], repeat=reps)
+                        yield P.read(self.coord_ids[m], n_elems=9, repeat=reps)
+                        pair_count += reps
+                for m in own_mols:
+                    yield P.write(self.coord_ids[m], n_elems=9)
+                yield P.compute(pair_count * PAIR_COMPUTE_NS)
+                yield P.ret()
+            yield P.ret()
+            yield P.barrier(barrier_seq)
+            barrier_seq += 1
+
+            # --- integration + cell reassignment -------------------------
+            yield P.call("Water.advance", n_slots=4, refs=[(0, anchor_cell)])
+            for c in own_cells:
+                for m in members[c]:
+                    yield P.read(self.mol_ids[m])
+                    yield P.write(self.coord_ids[m], n_elems=9)
+            for m, old_c, new_c in self._rounds_moves[rnd].get(thread_id, []):
+                # Moving a molecule rewrites both cells' membership arrays.
+                yield P.write(self.cell_arr_ids[old_c], n_elems=1)
+                yield P.write(self.cell_arr_ids[new_c], n_elems=1)
+                yield P.write(self.mol_ids[m])
+            yield P.ret()
+            yield P.barrier(barrier_seq)
+            barrier_seq += 1
+        yield P.ret()

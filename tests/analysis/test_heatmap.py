@@ -1,0 +1,62 @@
+"""Tests for heatmap rendering and block contrast."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import RAMP, block_contrast, render_heatmap
+
+
+class TestRenderHeatmap:
+    def test_shape_and_title(self):
+        out = render_heatmap(np.eye(4), title="map")
+        lines = out.splitlines()
+        assert lines[0] == "map"
+        assert len(lines) == 5
+        assert all(len(line) == 4 for line in lines[1:])
+
+    def test_peak_gets_darkest_glyph(self):
+        m = np.array([[0.0, 1.0], [0.0, 0.0]])
+        out = render_heatmap(m).splitlines()
+        assert out[0][1] == RAMP[-1]
+        assert out[0][0] == RAMP[0]
+
+    def test_zero_matrix_all_blank(self):
+        out = render_heatmap(np.zeros((3, 3)))
+        assert set(out.replace("\n", "")) == {RAMP[0]}
+
+    def test_downsampling(self):
+        m = np.ones((32, 32))
+        out = render_heatmap(m, width=8).splitlines()
+        assert len(out) == 8
+        assert len(out[0]) == 8
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros((2, 3)))
+
+
+class TestBlockContrast:
+    def test_pure_blocks(self):
+        m = np.array(
+            [
+                [0.0, 10.0, 0.0, 0.0],
+                [10.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 10.0],
+                [0.0, 0.0, 10.0, 0.0],
+            ]
+        )
+        assert math.isinf(block_contrast(m, [0, 0, 1, 1]))
+
+    def test_flat_map_contrast_one(self):
+        m = np.full((4, 4), 5.0)
+        np.fill_diagonal(m, 0.0)
+        assert block_contrast(m, [0, 0, 1, 1]) == pytest.approx(1.0)
+
+    def test_mismatched_groups_rejected(self):
+        with pytest.raises(ValueError):
+            block_contrast(np.zeros((4, 4)), [0, 1])
+
+    def test_zero_map(self):
+        assert block_contrast(np.zeros((4, 4)), [0, 0, 1, 1]) == 1.0

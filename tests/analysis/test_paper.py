@@ -1,0 +1,80 @@
+"""Consistency checks on the transcribed paper numbers.
+
+These guard against transcription typos: internal relationships the
+published tables must satisfy (structure, ranges, cross-table agreement)
+rather than re-deriving the values."""
+
+from repro.analysis.paper import FIG1, TABLE1, TABLE2, TABLE3, TABLE4, TABLE5
+
+
+BENCHMARKS = {"SOR", "Barnes-Hut", "Water-Spatial"}
+
+
+class TestStructure:
+    def test_all_tables_cover_all_benchmarks(self):
+        for table in (TABLE1, TABLE2, TABLE3, TABLE4, TABLE5):
+            assert set(table) == BENCHMARKS
+
+    def test_fig1_matches_paper_config(self):
+        assert FIG1 == {"threads": 32, "bodies": 4096, "distance": 7.0}
+
+
+class TestInternalConsistency:
+    def test_table2_overheads_small(self):
+        """The paper's O1 claim: minimal overhead, bounded by ~1.2%."""
+        for name, row in TABLE2.items():
+            for rate, pct in row["overhead_pct"].items():
+                assert -2.0 < pct < 2.0, (name, rate)
+
+    def test_table3_full_exceeds_sampled(self):
+        for name, row in TABLE3.items():
+            pcts = row["oal_volume_pct"]
+            if 1 in pcts:
+                assert pcts["full"] > pcts[1]
+            tcm = row["tcm_ms"]
+            if 1 in tcm:
+                assert tcm["full"] > tcm[1]
+
+    def test_table3_sor_has_highest_full_oal_share(self):
+        """The paper singles SOR out: '20% more bandwidth for
+        transferring OALs than the other two applications'."""
+        shares = {n: row["oal_volume_pct"]["full"] for n, row in TABLE3.items()}
+        assert shares["SOR"] > shares["Barnes-Hut"] > shares["Water-Spatial"]
+
+    def test_table4_accuracies_in_published_range(self):
+        """'all classes are consistently over 92% accurate'."""
+        for name, classes in TABLE4.items():
+            for cname, row in classes.items():
+                assert 92.0 <= row["accuracy_pct"] <= 100.0, (name, cname)
+
+    def test_table4_sor_perfect(self):
+        assert TABLE4["SOR"]["double[]"]["accuracy_pct"] == 100.0
+
+    def test_table5_footprinting_dominates_stack_sampling(self):
+        """Per the paper, footprinting (C2) is the expensive component."""
+        for name, row in TABLE5.items():
+            max_stack = max(row["stack_pct"].values())
+            max_fp = max(row["footprint_pct"].values())
+            assert max_fp > max_stack, name
+
+    def test_table5_lazy_beats_immediate_at_4ms(self):
+        """'Lazy frame extraction and comparison performs better than the
+        immediate counterpart in almost all cases except one' — the
+        exception being Barnes-Hut at 16 ms."""
+        for name, row in TABLE5.items():
+            assert row["stack_pct"][("lazy", 4)] <= row["stack_pct"][("immediate", 4)]
+        # The published exception:
+        assert (
+            TABLE5["Barnes-Hut"]["stack_pct"][("lazy", 16)]
+            > TABLE5["Barnes-Hut"]["stack_pct"][("immediate", 16)]
+        )
+
+    def test_baselines_agree_with_table1_workload_scale(self):
+        """Coarse sanity: BH (4K bodies, compute-heavy) has the largest
+        single-thread baseline in both Tables II and V."""
+        assert TABLE2["Barnes-Hut"]["baseline_ms"] == max(
+            row["baseline_ms"] for row in TABLE2.values()
+        )
+        assert TABLE5["Barnes-Hut"]["baseline_ms"] == max(
+            row["baseline_ms"] for row in TABLE5.values()
+        )

@@ -1,0 +1,46 @@
+"""Tests for paper-style table rendering."""
+
+import pytest
+
+from repro.analysis.report import Table, format_overhead, format_pct
+
+
+class TestFormatPct:
+    def test_positive(self):
+        assert format_pct(0.0112) == "(1.12%)"
+
+    def test_negative_keeps_sign(self):
+        assert format_pct(-0.0115) == "(-1.15%)"
+
+    def test_unsigned(self):
+        assert format_pct(0.5, signed=False) == "(50.00%)"
+
+
+class TestFormatOverhead:
+    def test_paper_cell_shape(self):
+        # Table II Barnes-Hut full sampling: 53844 (1.12%) over 53250.
+        assert format_overhead(53250, 53844) == "53844 (1.12%)"
+
+    def test_negative_overhead(self):
+        assert format_overhead(53250, 52636) == "52636 (-1.15%)"
+
+    def test_zero_base(self):
+        assert "n/a" in format_overhead(0, 100)
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table("T", ["name", "value"])
+        t.add_row("a", 1)
+        t.add_row("longer-name", 22)
+        out = t.render().splitlines()
+        assert out[0] == "T"
+        assert "name" in out[1] and "value" in out[1]
+        assert set(out[2]) <= {"-", "+"}
+        # All rows align to the same width.
+        assert len(out[3]) == len(out[4])
+
+    def test_wrong_cell_count_rejected(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")

@@ -1,0 +1,85 @@
+"""Tests for the dependency-free SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis.svgplot import heatmap, line_chart, save_svg
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def chart(self, **kw):
+        return line_chart(
+            {"Absolute/ABS": [1.0, 0.98, 0.95], "Relative/ABS": [1.0, 0.97, 0.93]},
+            ["16X", "4X", "1X"],
+            title="accuracy",
+            **kw,
+        )
+
+    def test_valid_xml(self):
+        root = parse(self.chart())
+        assert root.tag.endswith("svg")
+
+    def test_series_rendered(self):
+        svg = self.chart()
+        assert svg.count("<polyline") == 2
+        assert "Absolute/ABS" in svg and "Relative/ABS" in svg
+        assert "16X" in svg and "1X" in svg
+
+    def test_title_escaped(self):
+        svg = line_chart({"a<b": [0.5]}, ["x"], title='t & "q"')
+        parse(svg)  # must still be valid XML
+        assert "a&lt;b" in svg and "t &amp;" in svg
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [1.0, 2.0]}, ["only-one"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, [])
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [0.5]}, ["x"], y_range=(1.0, 1.0))
+
+    def test_values_clamped_into_plot(self):
+        svg = line_chart({"s": [5.0, -5.0]}, ["a", "b"], y_range=(0, 1))
+        root = parse(svg)
+        for poly in root.iter("{http://www.w3.org/2000/svg}polyline"):
+            for pair in poly.attrib["points"].split():
+                _x, y = pair.split(",")
+                assert 0 <= float(y) <= 400
+
+
+class TestHeatmap:
+    def test_valid_xml_and_cell_count(self):
+        svg = heatmap(np.eye(4), title="m")
+        root = parse(svg)
+        rects = list(root.iter("{http://www.w3.org/2000/svg}rect"))
+        assert len(rects) == 16 + 1  # cells + background
+
+    def test_peak_is_black_zero_is_white(self):
+        svg = heatmap(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert "rgb(0,0,0)" in svg
+        assert "rgb(255,255,255)" in svg
+
+    def test_zero_matrix_all_white(self):
+        svg = heatmap(np.zeros((3, 3)))
+        assert "rgb(0,0,0)" not in svg
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((2, 3)))
+
+
+class TestSave:
+    def test_save_creates_parents(self, tmp_path):
+        out = save_svg(heatmap(np.eye(2)), tmp_path / "figs" / "map.svg")
+        assert out.exists()
+        parse(out.read_text())

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+
+
+@pytest.fixture
+def djvm2() -> DJVM:
+    """A 2-node DJVM with fast-test cost scaling."""
+    return DJVM(n_nodes=2, costs=CostModel.fast_test())
+
+
+@pytest.fixture
+def djvm4() -> DJVM:
+    """A 4-node DJVM with fast-test cost scaling."""
+    return DJVM(n_nodes=4, costs=CostModel.fast_test())
+
+
+def simple_class(djvm: DJVM, name: str = "Obj", size: int = 64):
+    """Define (or fetch) a scalar class."""
+    if name in djvm.registry:
+        return djvm.registry.get(name)
+    return djvm.define_class(name, size)
+
+
+def array_class(djvm: DJVM, name: str = "Arr", elem: int = 8):
+    """Define (or fetch) an array class."""
+    if name in djvm.registry:
+        return djvm.registry.get(name)
+    return djvm.define_class(name, is_array=True, element_size=elem)
+
+
+def run_program(djvm: DJVM, ops_by_thread: dict[int, list]) -> None:
+    """Attach and run raw op lists (threads must already be spawned)."""
+    djvm.run({tid: list(ops) for tid, ops in ops_by_thread.items()})
+
+
+def wrap_main(ops: list, anchor: int | None = None) -> list:
+    """Wrap an op list in a main() frame (with an optional anchor ref)."""
+    refs = [(0, anchor)] if anchor is not None else []
+    return [P.call("main", n_slots=4, refs=refs), *ops, P.ret()]

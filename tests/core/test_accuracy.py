@@ -1,0 +1,93 @@
+"""Tests for the accuracy metrics (formulae (1) and (2))."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.accuracy import absolute_error, accuracy, euclidean_error
+
+matrices = arrays(
+    np.float64,
+    (4, 4),
+    elements=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+
+
+class TestErrors:
+    def test_identity_zero_error(self):
+        m = np.arange(9.0).reshape(3, 3)
+        assert euclidean_error(m, m) == 0.0
+        assert absolute_error(m, m) == 0.0
+
+    def test_known_values(self):
+        a = np.array([[0.0, 2.0], [2.0, 0.0]])
+        b = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert absolute_error(a, b) == pytest.approx(1.0)
+        assert euclidean_error(a, b) == pytest.approx(1.0)
+
+    def test_zero_reference_nonzero_estimate(self):
+        a = np.ones((2, 2))
+        b = np.zeros((2, 2))
+        assert math.isinf(absolute_error(a, b))
+        assert math.isinf(euclidean_error(a, b))
+
+    def test_zero_reference_zero_estimate(self):
+        z = np.zeros((2, 2))
+        assert absolute_error(z, z) == 0.0
+        assert euclidean_error(z, z) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_error(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    @given(matrices, matrices)
+    def test_nonnegative(self, a, b):
+        assert absolute_error(a, b) >= 0
+        assert euclidean_error(a, b) >= 0
+
+    @given(matrices, st.floats(min_value=0.1, max_value=10))
+    def test_scale_invariance(self, b, k):
+        """Scaling both maps by k leaves the normalized errors alone —
+        required for cross-rate comparability."""
+        a = b * 1.1
+        assert absolute_error(a * k, b * k) == pytest.approx(
+            absolute_error(a, b), rel=1e-9, abs=1e-12
+        )
+
+    @given(matrices)
+    def test_abs_bounds_euc_relationship(self, b):
+        """For the uniform-perturbation case the two metrics coincide;
+        in general both must flag a perturbed matrix as nonzero error."""
+        a = b + 1.0
+        if b.sum() > 0:
+            assert absolute_error(a, b) > 0
+            assert euclidean_error(a, b) > 0
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        m = np.ones((2, 2))
+        assert accuracy(m, m, "abs") == 1.0
+        assert accuracy(m, m, "euc") == 1.0
+
+    def test_floor_at_zero(self):
+        a = np.full((2, 2), 100.0)
+        b = np.ones((2, 2))
+        assert accuracy(a, b) == 0.0
+
+    def test_infinite_error_gives_zero(self):
+        assert accuracy(np.ones((2, 2)), np.zeros((2, 2))) == 0.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.ones((2, 2)), np.ones((2, 2)), "cosine")
+
+    def test_paper_regime(self):
+        """A 5% uniform deviation reads as 95% accuracy."""
+        b = np.full((4, 4), 100.0)
+        a = b * 1.05
+        assert accuracy(a, b, "abs") == pytest.approx(0.95)

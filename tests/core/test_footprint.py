@@ -1,0 +1,178 @@
+"""Tests for sticky-set footprinting (Section III.A step 1)."""
+
+import pytest
+
+from repro.core.footprint import StickySetFootprinter
+from repro.core.profiler import ProfilerSuite
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+
+from tests.conftest import simple_class, wrap_main
+
+MS = 1_000_000
+
+
+def setup(n_objects=8, obj_size=128, **suite_kw):
+    djvm = DJVM(n_nodes=1, costs=CostModel.fast_test())
+    cls = simple_class(djvm, "Obj", obj_size)
+    objs = [djvm.allocate(cls, 0) for _ in range(n_objects)]
+    djvm.spawn_thread(0)
+    suite = ProfilerSuite(djvm, correlation=False, footprint=True, **suite_kw)
+    suite.set_full_sampling()
+    return djvm, objs, suite
+
+
+def spread_accesses(obj_id, times, spacing_ms=2):
+    """Ops accessing an object repeatedly with compute gaps between (so
+    accesses land in distinct footprint phases)."""
+    ops = []
+    for _ in range(times):
+        ops.append(P.read(obj_id))
+        ops.append(P.compute(spacing_ms * MS * 100))  # fast_test scale 0.01
+    return ops
+
+
+class TestStickyCriterion:
+    def test_repeated_object_is_sticky(self):
+        djvm, objs, suite = setup()
+        djvm.run({0: wrap_main(spread_accesses(objs[0].obj_id, 3) + [P.barrier(0)])})
+        # The busy interval's footprint (recent estimator) is the object's
+        # size; the lifetime average is diluted by the empty final interval.
+        assert suite.footprinter.recent_footprint(0) == {"Obj": 128}
+        assert suite.footprinter.average_footprint(0)["Obj"] == pytest.approx(64.0)
+
+    def test_single_access_not_sticky(self):
+        djvm, objs, suite = setup()
+        djvm.run({0: wrap_main([P.read(objs[0].obj_id), P.barrier(0)])})
+        assert suite.footprinter.average_footprint(0) == {}
+
+    def test_burst_in_one_phase_not_sticky(self):
+        """Many accesses at the same instant are one phase-touch — the
+        frequency signal has phase granularity."""
+        djvm, objs, suite = setup()
+        djvm.run({0: wrap_main([P.read(objs[0].obj_id, repeat=50), P.barrier(0)])})
+        assert suite.footprinter.average_footprint(0) == {}
+
+    def test_per_class_composition(self):
+        djvm, objs, suite = setup()
+        other_cls = djvm.define_class("Other", 256)
+        other = djvm.allocate(other_cls, 0)
+        ops = spread_accesses(objs[0].obj_id, 3) + spread_accesses(other.obj_id, 3)
+        djvm.run({0: wrap_main(ops + [P.barrier(0)])})
+        assert suite.footprinter.recent_footprint(0) == {"Obj": 128, "Other": 256}
+
+    def test_footprint_resets_per_interval(self):
+        djvm, objs, suite = setup()
+        ops = (
+            spread_accesses(objs[0].obj_id, 3)
+            + [P.barrier(0)]
+            + [P.read(objs[0].obj_id), P.barrier(1)]
+        )
+        djvm.run({0: wrap_main(ops)})
+        fps = suite.footprinter.interval_footprints[0]
+        # Every closed interval is recorded; only the first qualifies the
+        # object as sticky (non-empty footprint).
+        assert len([fp for fp in fps if fp]) == 1
+
+
+class TestSampledEstimation:
+    def test_gap_scaling_estimates_class_bytes(self):
+        djvm, objs, suite = setup(n_objects=30)
+        cls = djvm.registry.get("Obj")
+        suite.policy.set_nominal_gap(cls, 3)
+        ops = []
+        for o in objs:
+            ops.extend(spread_accesses(o.obj_id, 3, spacing_ms=1))
+        djvm.run({0: wrap_main(ops + [P.barrier(0)])})
+        fp = suite.footprinter.recent_footprint(0)
+        true_bytes = 30 * 128
+        # 10 sampled objects x 128 x gap 3 = true bytes exactly here.
+        assert fp["Obj"] == pytest.approx(true_bytes, rel=0.2)
+
+    def test_unsampled_objects_invisible(self):
+        djvm, objs, suite = setup()
+        cls = djvm.registry.get("Obj")
+        suite.policy.set_nominal_gap(cls, 100)  # only seq 0 sampled
+        ops = spread_accesses(objs[1].obj_id, 3)
+        djvm.run({0: wrap_main(ops + [P.barrier(0)])})
+        assert suite.footprinter.average_footprint(0) == {}
+
+
+class TestTimerThrottling:
+    def test_timer_mode_cheaper_than_nonstop(self):
+        def run(timer_ms):
+            djvm, objs, suite = setup(footprint_timer_ms=timer_ms)
+            ops = []
+            for o in objs:
+                ops.extend(spread_accesses(o.obj_id, 4, spacing_ms=3))
+            djvm.run({0: wrap_main(ops + [P.barrier(0)])})
+            return djvm.threads[0].cpu.footprinting_ns
+
+        assert run(timer_ms=10) < run(timer_ms=None)
+
+    def test_off_phase_accesses_unseen(self):
+        djvm = DJVM(n_nodes=1, costs=CostModel.fast_test())
+        cls = simple_class(djvm, "Obj", 128)
+        obj = djvm.allocate(cls, 0)
+        djvm.spawn_thread(0)
+        fp = StickySetFootprinter(
+            __import__("repro.core.sampling", fromlist=["SamplingPolicy"]).SamplingPolicy(),
+            djvm.costs,
+            timer_period_ms=10,
+            duty=0.5,
+        )
+        fp.attach_gos(djvm.gos)
+        djvm.add_hook(fp)
+        # All accesses land at ~7ms into each period (off phase).
+        ops = []
+        for _ in range(3):
+            ops.append(P.compute(7 * MS * 100))
+            ops.append(P.read(obj.obj_id))
+            ops.append(P.compute(3 * MS * 100))
+        djvm.run({0: wrap_main(ops + [P.barrier(0)])})
+        assert fp.tracked_accesses == 0
+
+    def test_invalid_config_rejected(self):
+        from repro.core.sampling import SamplingPolicy
+
+        with pytest.raises(ValueError):
+            StickySetFootprinter(SamplingPolicy(), CostModel(), timer_period_ms=0)
+        with pytest.raises(ValueError):
+            StickySetFootprinter(SamplingPolicy(), CostModel(), duty=1.5)
+        with pytest.raises(ValueError):
+            StickySetFootprinter(SamplingPolicy(), CostModel(), min_accesses=0)
+
+
+class TestLiveQueries:
+    def test_live_footprint_mid_interval(self):
+        djvm, objs, suite = setup()
+        seen = {}
+
+        class Probe:
+            def maybe_fire(self, thread):
+                if thread.pc == 8:  # after several spread accesses
+                    seen["fp"] = suite.footprinter.live_footprint(thread)
+                    seen["cands"] = suite.footprinter.live_sticky_candidates(thread)
+
+        djvm.add_timer(Probe())
+        djvm.run({0: wrap_main(spread_accesses(objs[0].obj_id, 4) + [P.barrier(0)])})
+        assert seen["fp"].get("Obj", 0) == 128
+        assert seen["cands"] == [objs[0].obj_id]
+
+    def test_average_over_intervals(self):
+        djvm, objs, suite = setup()
+        ops = (
+            spread_accesses(objs[0].obj_id, 3)
+            + [P.barrier(0)]
+            + spread_accesses(objs[0].obj_id, 3)
+            + spread_accesses(objs[1].obj_id, 3)
+            + [P.barrier(1)]
+        )
+        djvm.run({0: wrap_main(ops)})
+        fp = suite.footprinter.average_footprint(0)
+        # Interval 1: 128 bytes; interval 2: 256; final interval empty ->
+        # average over all three is 128.
+        assert fp["Obj"] == pytest.approx(128.0)
+        # The recent estimator takes the element-wise max of busy intervals.
+        assert suite.footprinter.recent_footprint(0)["Obj"] == 256

@@ -1,0 +1,163 @@
+"""Tests for sticky-set resolution (Section III.A step 3)."""
+
+import pytest
+
+from repro.core.resolution import resolve_sticky_set
+from repro.core.sampling import SamplingPolicy
+from repro.heap.heap import GlobalObjectSpace
+from repro.runtime.thread import SimThread
+from repro.sim.costs import CostModel
+
+
+def chain_heap(n=20, size=64, branch_at=None):
+    """A linked chain of objects head -> o1 -> o2 -> ... with an optional
+    side branch of a different class."""
+    gos = GlobalObjectSpace()
+    cls = gos.registry.define("Node", size)
+    objs = [gos.allocate(cls, 0) for _ in range(n)]
+    for i in range(n - 1):
+        objs[i].add_ref(objs[i + 1].obj_id)
+    return gos, objs
+
+
+class TestBudgets:
+    def test_resolves_up_to_footprint(self):
+        gos, objs = chain_heap(n=20)
+        policy = SamplingPolicy()  # full sampling: every object a landmark
+        budget = {"Node": 5 * 64}
+        stats = resolve_sticky_set(gos, policy, [objs[0].obj_id], budget)
+        assert len(stats.selected) == 5
+        assert stats.selected_bytes["Node"] == 5 * 64
+
+    def test_empty_footprint_resolves_nothing(self):
+        gos, objs = chain_heap()
+        stats = resolve_sticky_set(gos, SamplingPolicy(), [objs[0].obj_id], {})
+        assert stats.selected == []
+        assert stats.visited == 0
+
+    def test_budget_met_stops_tracing(self):
+        gos, objs = chain_heap(n=100)
+        stats = resolve_sticky_set(
+            gos, SamplingPolicy(), [objs[0].obj_id], {"Node": 3 * 64}
+        )
+        assert stats.visited < 10
+
+    def test_per_class_budgets_independent(self):
+        gos = GlobalObjectSpace()
+        a_cls = gos.registry.define("A", 100)
+        b_cls = gos.registry.define("B", 50)
+        root = gos.allocate(a_cls, 0)
+        cursor = root
+        for i in range(6):
+            nxt = gos.allocate(a_cls if i % 2 else b_cls, 0)
+            cursor.add_ref(nxt.obj_id)
+            cursor = nxt
+        policy = SamplingPolicy()
+        stats = resolve_sticky_set(
+            gos, policy, [root.obj_id], {"A": 10_000, "B": 50}
+        )
+        assert stats.selected_bytes["B"] == 50  # budget met, B capped
+
+    def test_multiple_entry_points(self):
+        """When one root's subgraph is exhausted, the trace switches to
+        the next invariant reference."""
+        gos, objs = chain_heap(n=3)
+        cls = gos.registry.get("Node")
+        island = [gos.allocate(cls, 0) for _ in range(5)]
+        for i in range(4):
+            island[i].add_ref(island[i + 1].obj_id)
+        stats = resolve_sticky_set(
+            gos,
+            SamplingPolicy(),
+            [objs[0].obj_id, island[0].obj_id],
+            {"Node": 6 * 64},
+        )
+        assert len(stats.selected) == 6
+        assert set(stats.selected) >= {o.obj_id for o in objs}
+
+
+class TestLandmarks:
+    def test_unsampled_path_abandoned(self):
+        """A path with no landmarks for tolerance x gap objects stops —
+        the wrong-direction guard."""
+        gos = GlobalObjectSpace()
+        cls = gos.registry.define("Node", 64)
+        objs = [gos.allocate(cls, 0) for _ in range(60)]
+        for i in range(59):
+            objs[i].add_ref(objs[i + 1].obj_id)
+        policy = SamplingPolicy()
+        policy.set_nominal_gap(cls, 5)
+        # Entry at seq 1: the chain 1..59 contains sampled objects at
+        # seqs 5,10,..., so the guard stays quiet.  Build a decoy chain
+        # whose members are all unsampled by construction: pad allocation
+        # so seqs avoid multiples of 5.
+        stats = resolve_sticky_set(
+            gos, policy, [objs[0].obj_id], {"Node": 64 * 1000}, tolerance=2
+        )
+        assert stats.landmark_stops == 0
+
+        # Decoy chain built only from unsampled objects (seq % 5 != 0):
+        # with gap 5 and tolerance 2, a landmark-free walk must stop
+        # after ~10 objects even though the budget is far from met.
+        gos2 = GlobalObjectSpace()
+        cls2 = gos2.registry.define("Node", 64)
+        pool = [gos2.allocate(cls2, 0) for _ in range(60)]
+        decoys = [o for o in pool if o.seq % 5 != 0]
+        for a, b in zip(decoys, decoys[1:]):
+            a.add_ref(b.obj_id)
+        policy2 = SamplingPolicy()
+        policy2.set_nominal_gap(cls2, 5)
+        assert policy2.gap(cls2) == 5
+        stats2 = resolve_sticky_set(
+            gos2, policy2, [decoys[0].obj_id], {"Node": 64 * 1000}, tolerance=2
+        )
+        assert stats2.landmark_stops == 1
+        assert stats2.visited <= 2 * 5 + 2
+
+    def test_landmarks_disabled_walks_everything(self):
+        gos = GlobalObjectSpace()
+        cls = gos.registry.define("Node", 64)
+        objs = [gos.allocate(cls, 0) for _ in range(50)]
+        for i in range(49):
+            objs[i].add_ref(objs[i + 1].obj_id)
+        policy = SamplingPolicy()
+        policy.set_nominal_gap(cls, 997)
+        stats = resolve_sticky_set(
+            gos,
+            policy,
+            [objs[0].obj_id],
+            {"Node": 64 * 1000},
+            use_landmarks=False,
+        )
+        assert stats.visited == 50
+        assert stats.landmark_stops == 0
+
+    def test_invalid_tolerance_rejected(self):
+        gos, objs = chain_heap()
+        with pytest.raises(ValueError):
+            resolve_sticky_set(gos, SamplingPolicy(), [0], {"Node": 1}, tolerance=1.0)
+
+
+class TestCostCharging:
+    def test_cost_charged_to_thread(self):
+        gos, objs = chain_heap(n=10)
+        thread = SimThread(0, 0)
+        stats = resolve_sticky_set(
+            gos,
+            SamplingPolicy(),
+            [objs[0].obj_id],
+            {"Node": 64 * 10},
+            thread=thread,
+            costs=CostModel.gideon300(),
+        )
+        assert stats.cost_ns > 0
+        assert thread.cpu.resolution_ns == stats.cost_ns
+        assert thread.clock.now_ns == stats.cost_ns
+
+    def test_cycles_handled(self):
+        gos, objs = chain_heap(n=5)
+        objs[-1].add_ref(objs[0].obj_id)  # cycle
+        stats = resolve_sticky_set(
+            gos, SamplingPolicy(), [objs[0].obj_id], {"Node": 64 * 100}
+        )
+        assert stats.visited == 5  # terminates despite the cycle

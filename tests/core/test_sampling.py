@@ -1,0 +1,163 @@
+"""Tests for the class-level adaptive sampling policy (Section II.B)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sampling import SamplingPolicy
+from repro.heap.heap import GlobalObjectSpace
+from repro.util.primes import is_prime
+
+
+def gos_with_classes():
+    gos = GlobalObjectSpace()
+    gos.registry.define("Body", 96)
+    gos.registry.define("double[]", is_array=True, element_size=8)
+    gos.registry.define("Row", 16384)  # bigger than a page
+    return gos
+
+
+class TestGapConfiguration:
+    def test_default_is_full_sampling(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        assert policy.gap(gos.registry.get("Body")) == 1
+
+    def test_rate_formula(self):
+        """gap = page_size / (unit_size * rate), then nearest prime."""
+        gos = gos_with_classes()
+        policy = SamplingPolicy(page_size=4096)
+        body = gos.registry.get("Body")
+        policy.set_rate(body, 1)  # 4096 / 96 = 42 -> prime 41 or 43
+        assert is_prime(policy.gap(body))
+        assert abs(policy.gap(body) - 42) <= 2
+
+    def test_array_rate_uses_element_size(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy(page_size=4096)
+        arr = gos.registry.get("double[]")
+        policy.set_rate(arr, 4)  # 4096/(8*4) = 128 -> prime 127
+        assert policy.gap(arr) == 127
+
+    def test_page_sized_class_always_full(self):
+        """Classes at least a page large sample fully at any rate — the
+        paper's SOR observation."""
+        gos = gos_with_classes()
+        policy = SamplingPolicy(page_size=4096)
+        row = gos.registry.get("Row")
+        for rate in (1, 4, 16, 512):
+            policy.set_rate(row, rate)
+            assert policy.gap(row) == 1
+
+    def test_full_sentinel(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body = gos.registry.get("Body")
+        policy.set_rate(body, 16)
+        policy.set_rate(body, "full")
+        assert policy.gap(body) == 1
+
+    def test_gap_always_prime_or_one(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body = gos.registry.get("Body")
+        for rate in (0.25, 0.5, 1, 2, 4, 8, 64):
+            policy.set_rate(body, rate)
+            g = policy.gap(body)
+            assert g == 1 or is_prime(g)
+
+    def test_ablation_mode_skips_primes(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy(use_prime_gaps=False)
+        body = gos.registry.get("Body")
+        policy.set_nominal_gap(body, 32)
+        assert policy.gap(body) == 32
+
+    def test_rate_change_counted_and_epoch_bumped(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body = gos.registry.get("Body")
+        assert policy.set_rate(body, 1)
+        st = policy.state(body)
+        e0 = st.epoch
+        assert not policy.set_rate(body, 1)  # no change
+        assert st.epoch == e0
+        assert policy.set_rate(body, 2)
+        assert st.epoch == e0 + 1
+        assert policy.rate_changes == 2
+
+    def test_min_gap_enforced(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body = gos.registry.get("Body")
+        policy.set_min_gap(body, 11)
+        policy.set_rate(body, "full")
+        assert policy.gap(body) >= 11
+
+    def test_set_rate_all_returns_changed(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        changed = policy.set_rate_all(list(gos.registry), 1)
+        # Row stays at gap 1 (full) so only Body and double[] change.
+        assert {c.name for c in changed} == {"Body", "double[]"}
+
+
+class TestSamplingDecisions:
+    def test_scalar_divisibility(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body_cls = gos.registry.get("Body")
+        objs = [gos.allocate(body_cls, 0) for _ in range(20)]
+        policy.set_nominal_gap(body_cls, 5)
+        gap = policy.gap(body_cls)  # 5 is prime
+        assert gap == 5
+        sampled = [o for o in objs if policy.is_sampled(o)]
+        assert [o.seq for o in sampled] == [0, 5, 10, 15]
+
+    def test_array_sampled_iff_element_hit(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        arr_cls = gos.registry.get("double[]")
+        a = gos.allocate(arr_cls, 0, length=3)   # seqs 0-2
+        b = gos.allocate(arr_cls, 0, length=3)   # seqs 3-5
+        c = gos.allocate(arr_cls, 0, length=2)   # seqs 6-7
+        policy.set_nominal_gap(arr_cls, 7)
+        assert policy.is_sampled(a)      # element 0
+        assert not policy.is_sampled(b)  # 3,4,5 not divisible by 7
+        assert policy.is_sampled(c)      # element 7
+
+    def test_logged_bytes_scalar_is_instance_size(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        obj = gos.allocate("Body", 0)
+        assert policy.logged_bytes(obj) == 96
+
+    def test_scaled_bytes_is_horvitz_thompson(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body_cls = gos.registry.get("Body")
+        obj = gos.allocate(body_cls, 0)
+        policy.set_nominal_gap(body_cls, 13)
+        assert policy.scaled_bytes(obj) == 96 * 13
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=200))
+    def test_population_estimate_unbiased_within_one_gap(self, nominal, n_objects):
+        """Summing scaled bytes over sampled scalars estimates the class's
+        total bytes to within one gap's worth of objects."""
+        gos = GlobalObjectSpace()
+        cls = gos.registry.define("C", 50)
+        objs = [gos.allocate(cls, 0) for _ in range(n_objects)]
+        policy = SamplingPolicy()
+        policy.set_nominal_gap(cls, nominal)
+        gap = policy.gap(cls)
+        estimate = sum(policy.scaled_bytes(o) for o in objs if policy.is_sampled(o))
+        true = n_objects * 50
+        assert abs(estimate - true) <= gap * 50
+
+    def test_effective_rate(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy(page_size=4096)
+        body = gos.registry.get("Body")
+        policy.set_rate(body, 4)
+        # Should realize roughly 4 samples per page.
+        assert policy.effective_rate(body) == pytest.approx(4, rel=0.35)

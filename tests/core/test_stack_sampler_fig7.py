@@ -1,0 +1,94 @@
+"""The paper's Fig. 7 walkthrough, executed literally.
+
+Five successive stack states demonstrate lazy extraction and the
+two-phase scan; this test drives the sampler through the exact sequence
+and checks each documented transition:
+
+  state 1: frames A,B,C raw-captured
+  state 2: C popped, D pushed  -> B (first visited) converts + compares;
+                                  A stays raw; D raw-captured
+  state 3: B,D popped; E,F pushed -> A converts + compares; E,F raw
+  state 4: E,F popped; G pushed -> A compared again (non-invariants
+                                  drop); G raw
+  state 5: G survives          -> G converts + compares; A untouched
+"""
+
+from repro.core.stack_sampler import StackSampler
+from repro.runtime.stack import Frame
+from repro.runtime.thread import SimThread
+from repro.sim.costs import CostModel
+
+
+def test_fig7_sequence():
+    thread = SimThread(0, 0)
+    sampler = StackSampler(CostModel.gideon300(), lazy=True)
+    stack = thread.stack
+
+    a = Frame("A", 4, refs={0: 10, 1: 11})
+    b = Frame("B", 4, refs={0: 20})
+    c = Frame("C", 4, refs={0: 30})
+    stack.push(a)
+    stack.push(b)
+    stack.push(c)
+
+    # --- state 1: all frames stored raw ---------------------------------
+    sampler.sample_stack(thread)
+    samples = sampler.samples_for(0)
+    assert all(samples[f.frame_uid].raw for f in (a, b, c))
+    assert sampler.frames_extracted == 0
+
+    # --- state 2: C gone, D on top --------------------------------------
+    stack.pop()  # C
+    d = Frame("D", 4, refs={0: 40})
+    stack.push(d)
+    # B mutates a slot while it was (briefly) on top: the comparison at
+    # this sample must catch it.
+    b.set_slot(1, 21)
+    sampler.sample_stack(thread)
+    samples = sampler.samples_for(0)
+    assert c.frame_uid not in samples          # discarded with the dead frame
+    assert not samples[b.frame_uid].raw        # B converted + compared
+    assert samples[b.frame_uid].comparisons == 1
+    assert samples[a.frame_uid].raw            # A still untouched raw
+    assert samples[d.frame_uid].raw            # D captured raw
+    assert sampler.frames_extracted == 1
+
+    # --- state 3: B and D gone, E and F on top ---------------------------
+    stack.pop()  # D
+    stack.pop()  # B
+    e = Frame("E", 4, refs={0: 50})
+    f = Frame("F", 4, refs={0: 60})
+    stack.push(e)
+    stack.push(f)
+    sampler.sample_stack(thread)
+    samples = sampler.samples_for(0)
+    assert not samples[a.frame_uid].raw        # A processed at last
+    assert samples[a.frame_uid].comparisons == 1
+    assert samples[a.frame_uid].slots == {0: 10, 1: 11}
+    assert samples[e.frame_uid].raw and samples[f.frame_uid].raw
+    assert sampler.frames_extracted == 2
+
+    # --- state 4: E and F gone, G on top ---------------------------------
+    stack.pop()  # F
+    stack.pop()  # E
+    g = Frame("G", 4, refs={0: 70})
+    stack.push(g)
+    a.set_slot(1, 99)  # A's slot 1 is not invariant after all
+    sampler.sample_stack(thread)
+    samples = sampler.samples_for(0)
+    assert samples[a.frame_uid].comparisons == 2
+    assert samples[a.frame_uid].slots == {0: 10}   # non-invariant removed
+    assert samples[g.frame_uid].raw
+
+    # --- state 5: G survives ---------------------------------------------
+    a_comparisons_before = samples[a.frame_uid].comparisons
+    sampler.sample_stack(thread)
+    samples = sampler.samples_for(0)
+    assert not samples[g.frame_uid].raw            # G converted + compared
+    assert samples[g.frame_uid].comparisons == 1
+    # "leaving frame A untouched":
+    assert samples[a.frame_uid].comparisons == a_comparisons_before
+
+    # Final invariants: topmost-first, only surviving slots.
+    refs = sampler.invariant_refs(thread, min_comparisons=1)
+    assert refs == [70, 10]

@@ -1,0 +1,127 @@
+"""Tests for thread correlation map construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.oal import OALBatch
+from repro.core.tcm import accrual_pair_count, build_tcm, normalize_tcm, tcm_from_batches
+
+
+class TestBuildTcm:
+    def test_shared_object_accrues_pairwise(self):
+        entries = [(0, 100, 64.0), (1, 100, 64.0)]
+        tcm = build_tcm(entries, 3)
+        assert tcm[0, 1] == 64.0
+        assert tcm[1, 0] == 64.0
+        assert tcm[0, 2] == 0.0
+
+    def test_diagonal_zeroed_by_default(self):
+        tcm = build_tcm([(0, 1, 10.0), (1, 1, 10.0)], 2)
+        assert tcm[0, 0] == 0.0
+
+    def test_diagonal_kept_on_request(self):
+        tcm = build_tcm([(0, 1, 10.0)], 2, include_diagonal=True)
+        assert tcm[0, 0] == 10.0
+
+    def test_private_objects_contribute_nothing_offdiag(self):
+        tcm = build_tcm([(0, 1, 10.0), (1, 2, 10.0)], 2)
+        assert tcm[0, 1] == 0.0
+
+    def test_duplicate_entries_do_not_double_count(self):
+        tcm = build_tcm([(0, 1, 10.0), (0, 1, 10.0), (1, 1, 10.0)], 2)
+        assert tcm[0, 1] == 10.0
+
+    def test_three_way_sharing(self):
+        entries = [(t, 5, 8.0) for t in range(3)]
+        tcm = build_tcm(entries, 3)
+        for i in range(3):
+            for j in range(3):
+                assert tcm[i, j] == (8.0 if i != j else 0.0)
+
+    def test_bad_thread_id_rejected(self):
+        with pytest.raises(ValueError):
+            build_tcm([(5, 1, 1.0)], 2)
+        with pytest.raises(ValueError):
+            build_tcm([], 0)
+
+    def test_empty(self):
+        tcm = build_tcm([], 4)
+        assert tcm.shape == (4, 4)
+        assert (tcm == 0).all()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=20),
+                st.floats(min_value=1, max_value=1e6),
+            ),
+            max_size=60,
+        )
+    )
+    def test_symmetric_nonnegative_zero_diag(self, entries):
+        tcm = build_tcm(entries, 6)
+        assert (tcm >= 0).all()
+        assert np.allclose(tcm, tcm.T)
+        assert np.diagonal(tcm).sum() == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=10),
+            ),
+            max_size=40,
+        )
+    )
+    def test_matches_naive_accrual(self, pairs):
+        """The vectorized builder equals the paper's O(MN^2) triple loop."""
+        size = 32.0
+        entries = [(t, o, size) for t, o in pairs]
+        tcm = build_tcm(entries, 4)
+        naive = np.zeros((4, 4))
+        threads_per_obj: dict[int, set[int]] = {}
+        for t, o in pairs:
+            threads_per_obj.setdefault(o, set()).add(t)
+        for o, ts in threads_per_obj.items():
+            for i in ts:
+                for j in ts:
+                    if i != j:
+                        naive[i, j] += size
+        assert np.allclose(tcm, naive)
+
+
+class TestBatches:
+    def batch(self, tid, entries):
+        b = OALBatch(thread_id=tid, interval_id=1)
+        for oid, size in entries:
+            b.add(oid, size, class_id=0)
+        return b
+
+    def test_tcm_from_batches(self):
+        batches = [
+            self.batch(0, [(1, 10), (2, 20)]),
+            self.batch(1, [(1, 10)]),
+        ]
+        tcm = tcm_from_batches(batches, 2)
+        assert tcm[0, 1] == 10
+
+    def test_accrual_pair_count(self):
+        batches = [
+            self.batch(0, [(1, 10), (2, 10)]),
+            self.batch(1, [(1, 10)]),
+        ]
+        # object 1: 2 threads -> 4 pairs; object 2: 1 thread -> 1 pair.
+        assert accrual_pair_count(batches) == 5
+
+
+class TestNormalize:
+    def test_peak_scaled_to_one(self):
+        tcm = build_tcm([(0, 1, 50.0), (1, 1, 50.0)], 2)
+        norm = normalize_tcm(tcm)
+        assert norm.max() == 1.0
+
+    def test_zero_matrix_stays_zero(self):
+        assert (normalize_tcm(np.zeros((3, 3))) == 0).all()

@@ -1,0 +1,174 @@
+"""Tests for object home migration (the Section VI extension)."""
+
+import pytest
+
+from repro.dsm.homemigration import DominantWriterPolicy, HomeMigrationEngine
+from repro.dsm.states import RealState
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+from repro.sim.network import MessageKind
+
+from tests.conftest import simple_class, wrap_main
+
+
+def setup(n_nodes=2):
+    djvm = DJVM(n_nodes=n_nodes, costs=CostModel.fast_test())
+    cls = simple_class(djvm, "Obj", 256)
+    obj = djvm.allocate(cls, 0)
+    for n in range(n_nodes):
+        djvm.spawn_thread(n)
+    engine = HomeMigrationEngine(djvm.hlrc)
+    return djvm, obj, engine
+
+
+class TestMechanism:
+    def test_rehome_moves_authority(self):
+        djvm, obj, engine = setup()
+        engine.migrate_home(obj, 1)
+        assert obj.home_node == 1
+        new_rec = djvm.hlrc.heaps[1].get(obj.obj_id)
+        assert new_rec is not None and new_rec.is_home
+        assert engine.stats.migrations == 1
+        assert engine.stats.bytes_shipped == obj.size_bytes
+
+    def test_old_home_becomes_valid_cache(self):
+        djvm, obj, engine = setup()
+        # Materialize the old home copy first.
+        djvm.run(
+            {
+                0: wrap_main([P.read(obj.obj_id), P.barrier(0)]),
+                1: wrap_main([P.barrier(0)]),
+            }
+        )
+        engine.migrate_home(obj, 1)
+        old_rec = djvm.hlrc.heaps[0].get(obj.obj_id)
+        assert old_rec is not None
+        assert old_rec.real_state is RealState.VALID
+
+    def test_noop_when_already_home(self):
+        djvm, obj, engine = setup()
+        engine.migrate_home(obj, 0)
+        assert engine.stats.migrations == 0
+
+    def test_bad_target_rejected(self):
+        djvm, obj, engine = setup()
+        with pytest.raises(ValueError):
+            engine.migrate_home(obj, 9)
+
+    def test_rehome_publishes_notice(self):
+        djvm, obj, engine = setup()
+        before = len(djvm.hlrc.notices)
+        engine.migrate_home(obj, 1)
+        assert len(djvm.hlrc.notices) == before + 1
+
+    def test_payload_and_directory_messages_sent(self):
+        djvm, obj, engine = setup()
+        engine.migrate_home(obj, 1)
+        stats = djvm.cluster.network.stats
+        assert stats.count_by_kind.get(MessageKind.OBJECT_FETCH_DATA, 0) == 1
+        assert stats.count_by_kind.get(MessageKind.CONTROL, 0) == 1
+
+    def test_writes_after_rehome_are_home_writes(self):
+        """After re-homing to the writer's node, its writes stop
+        producing diff messages."""
+        djvm, obj, engine = setup()
+        engine.migrate_home(obj, 1)
+        djvm.run(
+            {
+                0: wrap_main([P.barrier(0)]),
+                1: wrap_main([P.write(obj.obj_id), P.barrier(0)]),
+            }
+        )
+        assert djvm.hlrc.counters["diffs"] == 0
+        assert obj.home_version >= 2  # rehome bump + home-write notice
+
+
+class TestDominantWriterPolicy:
+    def run_policy(self, writer_rounds=6, threshold=0.6, cooldown=2, min_writes=3):
+        djvm, obj, engine = setup()
+        policy = DominantWriterPolicy(
+            engine,
+            threshold=threshold,
+            min_writes=min_writes,
+            cooldown_intervals=cooldown,
+        )
+        djvm.add_hook(policy)
+        ops1 = []
+        ops0 = []
+        for r in range(writer_rounds):
+            ops1 += [P.write(obj.obj_id), P.barrier(r)]
+            ops0 += [P.barrier(r)]
+        djvm.run({0: wrap_main(ops0), 1: wrap_main(ops1)})
+        return djvm, obj, engine, policy
+
+    def test_rehomes_to_dominant_writer(self):
+        djvm, obj, engine, policy = self.run_policy()
+        assert obj.home_node == 1
+        assert engine.stats.migrations >= 1
+
+    def test_min_writes_gate(self):
+        djvm, obj, engine, policy = self.run_policy(writer_rounds=2, min_writes=10)
+        assert obj.home_node == 0
+        assert engine.stats.migrations == 0
+
+    def test_cooldown_prevents_thrashing(self):
+        """Two alternating writers: hysteresis keeps re-homing bounded
+        well below once-per-interval."""
+        djvm = DJVM(n_nodes=2, costs=CostModel.fast_test())
+        cls = simple_class(djvm, "Obj", 256)
+        obj = djvm.allocate(cls, 0)
+        djvm.spawn_thread(0)
+        djvm.spawn_thread(1)
+        engine = HomeMigrationEngine(djvm.hlrc)
+        policy = DominantWriterPolicy(
+            engine, threshold=0.6, min_writes=2, cooldown_intervals=6
+        )
+        djvm.add_hook(policy)
+        rounds = 12
+        ops0, ops1 = [], []
+        for r in range(rounds):
+            # Alternate which thread writes in each round.
+            if r % 2 == 0:
+                ops0.append(P.write(obj.obj_id))
+            else:
+                ops1.append(P.write(obj.obj_id))
+            ops0.append(P.barrier(r))
+            ops1.append(P.barrier(r))
+        djvm.run({0: wrap_main(ops0), 1: wrap_main(ops1)})
+        assert engine.stats.per_object.get(obj.obj_id, 0) <= rounds // 4
+
+    def test_invalid_config_rejected(self):
+        djvm, obj, engine = setup()
+        with pytest.raises(ValueError):
+            DominantWriterPolicy(engine, threshold=0.4)
+        with pytest.raises(ValueError):
+            DominantWriterPolicy(engine, min_writes=0)
+
+
+class TestEndToEndBenefit:
+    def test_rehoming_cuts_remote_traffic(self):
+        """A producer writing a remote-homed object every interval: home
+        migration eliminates the recurring diffs."""
+
+        def run(with_policy: bool):
+            djvm = DJVM(n_nodes=2, costs=CostModel.fast_test())
+            cls = simple_class(djvm, "Obj", 2048)
+            objs = [djvm.allocate(cls, 0) for _ in range(8)]
+            djvm.spawn_thread(0)
+            djvm.spawn_thread(1)
+            if with_policy:
+                engine = HomeMigrationEngine(djvm.hlrc)
+                djvm.add_hook(
+                    DominantWriterPolicy(engine, threshold=0.6, min_writes=2)
+                )
+            rounds = 10
+            ops1, ops0 = [], []
+            for r in range(rounds):
+                ops1 += [P.write(o.obj_id) for o in objs]
+                ops1.append(P.barrier(r))
+                ops0.append(P.barrier(r))
+            djvm.run({0: wrap_main(ops0), 1: wrap_main(ops1)})
+            return djvm.cluster.network.stats.gos_bytes
+
+        assert run(True) < 0.7 * run(False)

@@ -1,0 +1,34 @@
+"""Tests for interval bookkeeping."""
+
+from repro.dsm.intervals import IntervalRecord
+
+
+class TestIntervalRecord:
+    def test_touch_accumulates(self):
+        iv = IntervalRecord(thread_id=0, interval_id=1)
+        iv.touch(5, is_write=False, count=3, now_ns=10)
+        iv.touch(5, is_write=True, count=2, now_ns=20)
+        s = iv.accesses[5]
+        assert s.reads == 3
+        assert s.writes == 2
+        assert s.total == 5
+        assert (s.first_ns, s.last_ns) == (10, 20)
+
+    def test_written_set(self):
+        iv = IntervalRecord(0, 1)
+        iv.touch(1, is_write=False, count=1, now_ns=0)
+        iv.touch(2, is_write=True, count=1, now_ns=0)
+        assert iv.written == {2}
+
+    def test_first_access_order_preserved(self):
+        iv = IntervalRecord(0, 1)
+        for oid in (9, 3, 7):
+            iv.touch(oid, is_write=False, count=1, now_ns=0)
+        assert list(iv.accesses) == [9, 3, 7]
+
+    def test_duration(self):
+        iv = IntervalRecord(0, 1, start_ns=100)
+        iv.end_ns = 300
+        assert iv.duration_ns == 200
+        iv.end_ns = 50
+        assert iv.duration_ns == 0

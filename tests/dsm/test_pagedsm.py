@@ -1,0 +1,98 @@
+"""Tests for the page-grained tracking baseline (Fig. 1 machinery)."""
+
+from repro.core.tcm import build_tcm
+from repro.dsm.pagedsm import PageGrainTracker
+from repro.heap.pages import PageMap
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+
+from tests.conftest import simple_class, wrap_main
+
+
+def setup(n_objects: int = 8, obj_size: int = 100):
+    """Small objects packed onto one page: the canonical false-sharing
+    configuration.  Threads access disjoint objects."""
+    djvm = DJVM(n_nodes=2, costs=CostModel.fast_test())
+    cls = simple_class(djvm, "Small", obj_size)
+    objs = [djvm.allocate(cls, 0) for _ in range(n_objects)]
+    djvm.spawn_thread(0)
+    djvm.spawn_thread(1)
+    pagemap = PageMap(page_size=4096)
+    pagemap.place_all(djvm.gos)
+    tracker = PageGrainTracker(pagemap)
+    djvm.add_hook(tracker)
+    return djvm, objs, tracker
+
+
+class TestPageGrainTracker:
+    def test_disjoint_objects_same_page_appear_shared(self):
+        """The false-sharing effect: threads touching different objects
+        on the same page look correlated at page grain."""
+        djvm, objs, tracker = setup()
+        djvm.run(
+            {
+                0: wrap_main([P.read(objs[0].obj_id), P.barrier(0)]),
+                1: wrap_main([P.read(objs[5].obj_id), P.barrier(0)]),
+            }
+        )
+        induced = build_tcm(tracker.induced_entries(), 2)
+        assert induced[0, 1] > 0  # page-level phantom correlation
+        assert tracker.false_sharing_degree() == 2.0
+
+    def test_object_grain_sees_no_sharing(self):
+        """Contrast: the object-grain inherent map for the same run is
+        zero off-diagonal."""
+        djvm, objs, tracker = setup()
+        from repro.core.profiler import ProfilerSuite
+
+        suite = ProfilerSuite(djvm, correlation=True, send_oals=False)
+        suite.set_full_sampling()
+        djvm.run(
+            {
+                0: wrap_main([P.read(objs[0].obj_id), P.barrier(0)]),
+                1: wrap_main([P.read(objs[5].obj_id), P.barrier(0)]),
+            }
+        )
+        inherent = suite.tcm()
+        assert inherent[0, 1] == 0
+
+    def test_objects_on_distinct_pages_not_conflated(self):
+        djvm, objs, tracker = setup(n_objects=2, obj_size=5000)
+        djvm.run(
+            {
+                0: wrap_main([P.read(objs[0].obj_id), P.barrier(0)]),
+                1: wrap_main([P.read(objs[1].obj_id), P.barrier(0)]),
+            }
+        )
+        induced = build_tcm(tracker.induced_entries(), 2)
+        # 5000-byte objects share only the boundary page (obj 0 spans
+        # pages 0-1, obj 1 spans 1-2), so some overlap remains — but the
+        # same-page phantom must be weaker than true co-access would be.
+        assert induced[0, 1] <= tracker.pagemap.page_size
+
+    def test_at_most_once_per_interval(self):
+        djvm, objs, tracker = setup()
+        djvm.run(
+            {
+                0: wrap_main([P.read(objs[0].obj_id, repeat=50), P.barrier(0)]),
+                1: wrap_main([P.barrier(0)]),
+            }
+        )
+        page = tracker.pagemap.pages_of(objs[0].obj_id)[0]
+        assert tracker.page_touches[(0, page)] == 1
+
+    def test_range_aware_array_access(self):
+        """A thread touching a narrow slice of a large array must not be
+        charged with the array's full page span."""
+        djvm = DJVM(n_nodes=1, costs=CostModel.fast_test())
+        arr_cls = djvm.define_class("big[]", is_array=True, element_size=8)
+        arr = djvm.allocate(arr_cls, 0, length=4096)  # 32 KB = 9 pages
+        djvm.spawn_thread(0)
+        pagemap = PageMap()
+        pagemap.place_all(djvm.gos)
+        tracker = PageGrainTracker(pagemap)
+        djvm.add_hook(tracker)
+        djvm.run({0: wrap_main([P.read(arr.obj_id, n_elems=4, elem_off=0), P.barrier(0)])})
+        touched = [p for (tid, p) in tracker.page_touches if tid == 0]
+        assert len(touched) <= 2

@@ -1,0 +1,62 @@
+"""Tests for distributed locks and barriers."""
+
+import pytest
+
+from repro.dsm.sync import Barrier, DistributedLock, SyncRegistry
+
+
+class TestDistributedLock:
+    def test_grant_time_free_lock(self):
+        lock = DistributedLock(0, manager_node=0)
+        assert lock.grant_time(100) == 100
+
+    def test_grant_time_waits_for_availability(self):
+        lock = DistributedLock(0, manager_node=0, available_at_ns=500)
+        assert lock.grant_time(100) == 500
+        assert lock.grant_time(900) == 900
+
+
+class TestBarrier:
+    def test_last_arrival_completes(self):
+        b = Barrier(0, parties=3)
+        assert not b.arrive(0, 10)
+        assert not b.arrive(1, 30)
+        assert b.arrive(2, 20)
+
+    def test_release_all(self):
+        b = Barrier(0, parties=2)
+        b.arrive(0, 10)
+        b.arrive(1, 25)
+        release_ns, waiters = b.release_all()
+        assert release_ns == 25
+        assert set(waiters) == {0, 1}
+        assert b.episodes == 1
+        # Reusable for the next episode.
+        assert not b.arrive(0, 50)
+
+    def test_double_arrival_rejected(self):
+        b = Barrier(0, parties=2)
+        b.arrive(0, 10)
+        with pytest.raises(RuntimeError):
+            b.arrive(0, 20)
+
+    def test_premature_release_rejected(self):
+        b = Barrier(0, parties=2)
+        b.arrive(0, 10)
+        with pytest.raises(RuntimeError):
+            b.release_all()
+
+
+class TestSyncRegistry:
+    def test_lock_created_once(self):
+        reg = SyncRegistry(master_node=3)
+        a = reg.lock(7)
+        assert a.manager_node == 3
+        assert reg.lock(7) is a
+
+    def test_barrier_parties_must_match(self):
+        reg = SyncRegistry()
+        reg.barrier(0, 4)
+        with pytest.raises(ValueError):
+            reg.barrier(0, 8)
+        assert reg.barrier(0, 4).parties == 4

@@ -1,0 +1,61 @@
+"""Tests for class metadata and sequence-number issuance."""
+
+import pytest
+
+from repro.heap.jclass import ClassRegistry, JClass
+
+
+class TestJClass:
+    def test_scalar_requires_size(self):
+        with pytest.raises(ValueError):
+            JClass(0, "Bad", 0)
+
+    def test_array_requires_element_size(self):
+        with pytest.raises(ValueError):
+            JClass(0, "Bad[]", 16, is_array=True, element_size=0)
+
+    def test_issue_seq_consecutive(self):
+        c = JClass(0, "X", 8)
+        assert c.issue_seq() == 0
+        assert c.issue_seq() == 1
+        assert c.issue_seq(5) == 2
+        assert c.issue_seq() == 7
+
+    def test_issue_seq_rejects_nonpositive(self):
+        c = JClass(0, "X", 8)
+        with pytest.raises(ValueError):
+            c.issue_seq(0)
+
+
+class TestClassRegistry:
+    def test_define_and_get(self):
+        reg = ClassRegistry()
+        c = reg.define("Body", 96)
+        assert reg.get("Body") is c
+        assert reg.by_id(c.class_id) is c
+        assert "Body" in reg
+
+    def test_duplicate_rejected(self):
+        reg = ClassRegistry()
+        reg.define("Body", 96)
+        with pytest.raises(ValueError):
+            reg.define("Body", 96)
+
+    def test_missing_get_raises(self):
+        with pytest.raises(KeyError, match="not defined"):
+            ClassRegistry().get("Nope")
+
+    def test_ids_are_dense(self):
+        reg = ClassRegistry()
+        a = reg.define("A", 8)
+        b = reg.define("B", 8)
+        assert (a.class_id, b.class_id) == (0, 1)
+        assert len(reg) == 2
+        assert [c.name for c in reg] == ["A", "B"]
+
+    def test_sequence_counters_are_per_class(self):
+        reg = ClassRegistry()
+        a = reg.define("A", 8)
+        b = reg.define("B", 8)
+        a.issue_seq(10)
+        assert b.issue_seq() == 0

@@ -1,0 +1,118 @@
+"""Targeted tests for less-travelled branches across modules."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.svgplot import PALETTE, line_chart
+from repro.analysis.trace import record_trace
+from repro.core.costmodel import MigrationCostModel
+from repro.core.profiler import ProfilerSuite
+from repro.placement.balancer import CorrelationAwareBalancer
+from repro.placement.runtime_balancer import OnlineRebalancer
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.runtime.interpreter import Interpreter
+from repro.sim.costs import CostModel
+from repro.workloads import GroupSharingWorkload
+
+from tests.conftest import simple_class, wrap_main
+
+FAST = CostModel.fast_test()
+
+
+class TestSvgEdges:
+    def test_many_series_cycle_palette_and_dashes(self):
+        series = {f"s{i}": [0.5, 0.6] for i in range(len(PALETTE) + 2)}
+        svg = line_chart(series, ["a", "b"])
+        assert svg.count("<polyline") == len(series)
+        # Colors repeat once the palette is exhausted.
+        assert svg.count(PALETTE[0]) >= 2
+
+
+class TestTraceEdges:
+    def test_drift_euclidean_metric(self):
+        trace = record_trace(
+            lambda: GroupSharingWorkload(n_threads=4, group_size=2, rounds=2),
+            2,
+            costs=FAST,
+        )
+        assert trace.drift_from(trace, metric="euc") == pytest.approx(0.0)
+
+
+class TestInterpreterEdges:
+    def test_barrier_parties_override(self):
+        """A subset barrier: 3 threads, barrier over the 2 participants."""
+        djvm = DJVM(n_nodes=2, costs=FAST)
+        cls = simple_class(djvm)
+        obj = djvm.allocate(cls, 0)
+        for i in range(3):
+            djvm.spawn_thread(i % 2)
+        interp = Interpreter(djvm.hlrc, djvm.threads, barrier_parties=2)
+        interp.attach_programs(
+            {
+                0: wrap_main([P.barrier(0)]),
+                1: wrap_main([P.barrier(0)]),
+                2: wrap_main([P.read(obj.obj_id)]),
+            }
+        )
+        interp.run()
+        assert djvm.hlrc.sync.barriers[0].episodes == 1
+
+    def test_duplicate_thread_ids_rejected(self):
+        djvm = DJVM(n_nodes=1, costs=FAST)
+        t = djvm.spawn_thread(0)
+        with pytest.raises(ValueError, match="duplicate"):
+            Interpreter(djvm.hlrc, [t, t])
+
+    def test_empty_thread_list_rejected(self):
+        djvm = DJVM(n_nodes=1, costs=FAST)
+        with pytest.raises(ValueError):
+            Interpreter(djvm.hlrc, [])
+
+
+class TestCostModelEdges:
+    def test_frozen_dataclass(self):
+        c = CostModel()
+        with pytest.raises(Exception):
+            c.state_check_ns = 5  # type: ignore[misc]
+
+    def test_with_overrides_multiple(self):
+        c = CostModel().with_overrides(state_check_ns=7, page_size=8192)
+        assert (c.state_check_ns, c.page_size) == (7, 8192)
+
+
+class TestRebalancerPrefetchPath:
+    def test_prefetch_sticky_migrations(self):
+        """The rebalancer's prefetch_sticky mode resolves and ships each
+        migrant's sticky set.  Needs a workload with temporal access
+        spread (Barnes-Hut) at real cost calibration so footprint phases
+        and stack-sampling timers actually fire."""
+        from repro.workloads import BarnesHutWorkload
+
+        wl = BarnesHutWorkload(n_bodies=512, rounds=3, n_threads=8, seed=5)
+        djvm = DJVM(n_nodes=4)  # default (calibrated) costs, ms-scale intervals
+        wl.build(djvm, placement="round_robin")  # galaxy-blind start
+        suite = ProfilerSuite(
+            djvm, correlation=True, stack=True, footprint=True, send_oals=False
+        )
+        suite.set_rate_all(4)
+        balancer = CorrelationAwareBalancer(
+            MigrationCostModel(djvm.cluster.network, djvm.costs),
+            horizon_intervals=40,
+        )
+        rb = OnlineRebalancer(
+            suite, balancer, djvm.migration, warmup_intervals=6, prefetch_sticky=True
+        )
+        djvm.add_timer(rb)
+        djvm.run(wl.programs())
+        assert rb.fired and rb.proposals
+        # At least one migration carried a prefetched bundle.
+        assert any(r.prefetched_objects > 0 for r in djvm.migration.results)
+
+
+class TestHeatmapPassthrough:
+    def test_width_geq_n_is_identity(self):
+        from repro.analysis.heatmap import render_heatmap
+
+        m = np.eye(3)
+        assert render_heatmap(m, width=10) == render_heatmap(m)

@@ -1,0 +1,80 @@
+"""End-to-end integration: full workload runs with profiling enabled,
+checking the cross-cutting invariants the paper's evaluation rests on."""
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.sim.costs import CostModel
+from repro.workloads import BarnesHutWorkload, SORWorkload, WaterSpatialWorkload
+
+FAST = CostModel.fast_test()
+
+
+def bh_factory():
+    return BarnesHutWorkload(n_bodies=512, rounds=2, n_threads=8, seed=3)
+
+
+class TestOverheadStructure:
+    def test_profiling_adds_bounded_overhead(self):
+        """Correlation tracking at a moderate rate costs a few percent of
+        execution time — the paper's headline claim."""
+        base = E.run_baseline(bh_factory, 8).result.execution_time_ms
+        prof = E.run_with_correlation(bh_factory, 8, rate=4).result.execution_time_ms
+        overhead = (prof - base) / base
+        assert overhead < 0.10
+        assert overhead > -0.02  # sanity: profiling never speeds things up here
+
+    def test_full_sampling_costs_more_than_sampled(self):
+        cheap = E.run_with_correlation(bh_factory, 8, rate=1)
+        full = E.run_with_correlation(bh_factory, 8, rate="full")
+        assert (
+            full.result.total_cpu.profiling_ns > cheap.result.total_cpu.profiling_ns
+        )
+        assert full.result.traffic.oal_bytes > cheap.result.traffic.oal_bytes
+
+    def test_oal_traffic_fraction_of_gos(self):
+        """OAL volume stays a modest fraction of protocol traffic below
+        full sampling (Table III's regime)."""
+        run = E.run_with_correlation(bh_factory, 8, rate=4)
+        assert 0 < run.result.traffic.oal_bytes < 0.25 * run.result.traffic.gos_bytes
+
+    def test_collect_only_cheaper_than_collect_and_send(self):
+        collect = E.run_with_correlation(bh_factory, 8, rate="full", send_oals=False)
+        send = E.run_with_correlation(bh_factory, 8, rate="full", send_oals=True)
+        assert collect.result.traffic.oal_bytes == 0
+        assert send.result.traffic.oal_bytes > 0
+
+    def test_deterministic_runs(self):
+        a = E.run_with_correlation(bh_factory, 8, rate=4)
+        b = E.run_with_correlation(bh_factory, 8, rate=4)
+        assert a.result.execution_time_ms == b.result.execution_time_ms
+        assert a.result.counters == b.result.counters
+        import numpy as np
+
+        assert np.allclose(a.suite.tcm(), b.suite.tcm())
+
+
+class TestAllWorkloadsUnderFullProfiling:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: SORWorkload(n=128, rounds=2, n_threads=8, seed=1),
+            lambda: BarnesHutWorkload(n_bodies=256, rounds=2, n_threads=8, seed=1),
+            lambda: WaterSpatialWorkload(n_molecules=128, rounds=2, n_threads=8, seed=1),
+        ],
+        ids=["sor", "barnes_hut", "water_spatial"],
+    )
+    def test_runs_clean_with_everything_enabled(self, factory):
+        from repro.core.profiler import ProfilerSuite
+
+        wl = factory()
+        djvm = E.build_djvm(wl, 8, costs=FAST)
+        suite = ProfilerSuite(
+            djvm, correlation=True, stack=True, footprint=True, send_oals=True
+        )
+        suite.set_rate_all(4)
+        res = djvm.run(wl.programs())
+        assert res.execution_time_ms > 0
+        tcm = suite.tcm()
+        assert tcm.sum() > 0
+        assert res.total_cpu.profiling_ns > 0

@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are the documentation users execute first; a broken one is a
+broken README.  Each test imports the script as a module and calls its
+``main()`` with stdout captured."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+def load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    mod = load(path)
+    assert hasattr(mod, "main"), f"{path.name} must expose main()"
+    mod.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{path.name} produced suspiciously little output"
+
+
+def test_all_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "thread_placement",
+        "adaptive_profiling",
+        "migration_cost_model",
+        "home_migration",
+        "offline_analysis",
+    } <= names

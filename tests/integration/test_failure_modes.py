@@ -1,0 +1,114 @@
+"""Failure-mode tests: the simulator must fail loudly and precisely, not
+corrupt state or hang, when components misbehave."""
+
+import pytest
+
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.runtime.migration import MigrationPlan
+from repro.sim.costs import CostModel
+
+from tests.conftest import simple_class, wrap_main
+
+
+def make(n_nodes=2, n_threads=2):
+    djvm = DJVM(n_nodes=n_nodes, costs=CostModel.fast_test())
+    cls = simple_class(djvm)
+    obj = djvm.allocate(cls, 0)
+    for i in range(n_threads):
+        djvm.spawn_thread(i % n_nodes)
+    return djvm, obj
+
+
+class TestHookFailures:
+    def test_hook_exception_propagates(self):
+        """A crashing profiler hook fails the run immediately (fail-fast:
+        silently swallowed profiling bugs would corrupt experiments)."""
+        djvm, obj = make(n_threads=1)
+
+        class Broken:
+            def on_interval_open(self, thread):
+                pass
+
+            def on_access(self, thread, obj, **kw):
+                raise RuntimeError("profiler bug")
+
+            def on_interval_close(self, thread, interval, sync_dst):
+                pass
+
+        djvm.add_hook(Broken())
+        with pytest.raises(RuntimeError, match="profiler bug"):
+            djvm.run({0: wrap_main([P.read(obj.obj_id)])})
+
+    def test_timer_exception_propagates(self):
+        djvm, obj = make(n_threads=1)
+
+        class BrokenTimer:
+            def maybe_fire(self, thread):
+                raise ValueError("timer bug")
+
+        djvm.add_timer(BrokenTimer())
+        with pytest.raises(ValueError, match="timer bug"):
+            djvm.run({0: wrap_main([P.compute(1)])})
+
+
+class TestProgramFailures:
+    def test_access_to_unknown_object(self):
+        djvm, obj = make(n_threads=1)
+        with pytest.raises(IndexError):
+            djvm.run({0: wrap_main([P.read(9999)])})
+
+    def test_ret_on_empty_stack(self):
+        djvm, obj = make(n_threads=1)
+        with pytest.raises(IndexError):
+            djvm.run({0: [P.ret()]})
+
+    def test_generator_program_exception_surfaces(self):
+        djvm, obj = make(n_threads=1)
+
+        def program():
+            yield P.call("main", 2)
+            raise OSError("trace generation failed")
+
+        with pytest.raises(OSError, match="trace generation"):
+            djvm.run({0: program()})
+
+
+class TestMigrationFailures:
+    def test_plan_to_invalid_node_fails_at_fire_time(self):
+        djvm, obj = make()
+        djvm.migration.schedule(MigrationPlan(thread_id=0, target_node=99, at_pc=1))
+        with pytest.raises(ValueError, match="out of range"):
+            djvm.run(
+                {
+                    0: wrap_main([P.read(obj.obj_id), P.barrier(0)]),
+                    1: wrap_main([P.barrier(0)]),
+                }
+            )
+
+    def test_prefetch_provider_exception_surfaces(self):
+        djvm, obj = make()
+
+        def provider(thread):
+            raise KeyError("resolution state missing")
+
+        djvm.migration.schedule(
+            MigrationPlan(thread_id=0, target_node=1, at_pc=1, prefetch_provider=provider)
+        )
+        with pytest.raises(KeyError):
+            djvm.run(
+                {
+                    0: wrap_main([P.read(obj.obj_id), P.barrier(0)]),
+                    1: wrap_main([P.barrier(0)]),
+                }
+            )
+
+
+class TestRunReuse:
+    def test_two_sequential_runs_on_one_djvm_rejected_or_clean(self):
+        """Running a second program set on spent threads must not silently
+        produce garbage: threads are DONE, so re-running raises."""
+        djvm, obj = make(n_threads=1)
+        djvm.run({0: wrap_main([P.read(obj.obj_id)])})
+        with pytest.raises(Exception):
+            djvm.run({0: wrap_main([P.read(obj.obj_id)])})

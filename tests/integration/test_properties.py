@@ -1,0 +1,149 @@
+"""Property-based integration tests: invariants that must hold for *any*
+well-formed program, checked over randomized barrier-synchronized
+programs via hypothesis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiler import ProfilerSuite
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+from repro.sim.network import MessageKind
+
+N_THREADS = 3
+N_NODES = 3
+N_OBJECTS = 8
+N_ROUNDS = 3
+
+#: one round of one thread = a few accesses; op = (kind, obj, repeat).
+access_op = st.tuples(
+    st.sampled_from(["r", "w"]),
+    st.integers(min_value=0, max_value=N_OBJECTS - 1),
+    st.integers(min_value=1, max_value=4),
+)
+thread_round = st.lists(access_op, max_size=6)
+program_shape = st.lists(
+    st.tuples(*[thread_round for _ in range(N_THREADS)]),
+    min_size=1,
+    max_size=N_ROUNDS,
+)
+
+
+def build_and_run(shape, *, with_profiler=False, rate=4):
+    djvm = DJVM(n_nodes=N_NODES, costs=CostModel.fast_test())
+    cls = djvm.define_class("Obj", 64)
+    objs = [djvm.allocate(cls, i % N_NODES) for i in range(N_OBJECTS)]
+    for n in range(N_THREADS):
+        djvm.spawn_thread(n)
+    suite = None
+    if with_profiler:
+        suite = ProfilerSuite(djvm, correlation=True, send_oals=True)
+        suite.set_rate_all(rate)
+    programs = {}
+    for tid in range(N_THREADS):
+        ops = [P.call("main", 2, refs=[(0, objs[0].obj_id)])]
+        for round_idx, per_thread in enumerate(shape):
+            for kind, obj_idx, repeat in per_thread[tid]:
+                oid = objs[obj_idx].obj_id
+                ops.append(P.read(oid, repeat=repeat) if kind == "r" else P.write(oid, repeat=repeat))
+            ops.append(P.barrier(round_idx))
+        ops.append(P.ret())
+        programs[tid] = ops
+    result = djvm.run(programs)
+    return djvm, result, suite
+
+
+class TestProtocolConservation:
+    @given(program_shape)
+    @settings(max_examples=30, deadline=None)
+    def test_faults_equal_fetch_messages(self, shape):
+        djvm, result, _ = build_and_run(shape)
+        fetches = djvm.cluster.network.stats.count_by_kind.get(
+            MessageKind.OBJECT_FETCH_DATA, 0
+        )
+        assert result.counters["faults"] == fetches
+
+    @given(program_shape)
+    @settings(max_examples=30, deadline=None)
+    def test_diffs_equal_diff_messages(self, shape):
+        djvm, result, _ = build_and_run(shape)
+        diffs = djvm.cluster.network.stats.count_by_kind.get(MessageKind.DIFF, 0)
+        assert result.counters["diffs"] == diffs
+
+    @given(program_shape)
+    @settings(max_examples=30, deadline=None)
+    def test_cached_versions_never_exceed_home(self, shape):
+        djvm, result, _ = build_and_run(shape)
+        for node_id, heap in djvm.hlrc.heaps.items():
+            for obj_id, record in heap.copies.items():
+                obj = djvm.gos.get(obj_id)
+                if not record.is_home:
+                    assert record.fetched_version <= obj.home_version
+
+    @given(program_shape)
+    @settings(max_examples=30, deadline=None)
+    def test_all_barriers_complete(self, shape):
+        djvm, result, _ = build_and_run(shape)
+        for barrier in djvm.hlrc.sync.barriers.values():
+            assert barrier.waiting == {}
+            assert barrier.episodes == 1
+
+
+class TestDeterminism:
+    @given(program_shape)
+    @settings(max_examples=15, deadline=None)
+    def test_identical_reruns(self, shape):
+        _, a, _ = build_and_run(shape)
+        _, b, _ = build_and_run(shape)
+        assert a.execution_time_ms == b.execution_time_ms
+        assert a.counters == b.counters
+        assert a.thread_finish_ms == b.thread_finish_ms
+        assert a.traffic.total_bytes == b.traffic.total_bytes
+
+    @given(program_shape)
+    @settings(max_examples=15, deadline=None)
+    def test_profiled_tcm_deterministic(self, shape):
+        _, _, s1 = build_and_run(shape, with_profiler=True)
+        _, _, s2 = build_and_run(shape, with_profiler=True)
+        assert np.allclose(s1.tcm(), s2.tcm())
+
+
+class TestProfilerInvariants:
+    @given(program_shape)
+    @settings(max_examples=20, deadline=None)
+    def test_sampled_tcm_bounded_by_full(self, shape):
+        """Structural invariant: any pair nonzero in a sampled map is
+        nonzero in the full map (sampling only filters, never invents
+        sharing)."""
+        _, _, sampled = build_and_run(shape, with_profiler=True, rate=1)
+        _, _, full = build_and_run(shape, with_profiler=True, rate="full")
+        sampled_tcm = sampled.tcm()
+        full_tcm = full.tcm()
+        assert ((sampled_tcm > 0) <= (full_tcm > 0)).all()
+
+    @given(program_shape)
+    @settings(max_examples=20, deadline=None)
+    def test_profiling_preserves_schedule_independent_protocol_state(self, shape):
+        """The observer effect is cost-only for schedule-independent
+        quantities: interval structure, diff flushes and write notices
+        are fixed by the programs alone.  (Fault/invalidation counts may
+        legitimately differ: profiling cost shifts simulated timing,
+        which reorders threads between sync points — a different but
+        equally legal LRC schedule, exactly as on real hardware.)"""
+        djvm_plain, plain, _ = build_and_run(shape, with_profiler=False)
+        djvm_prof, prof, _ = build_and_run(shape, with_profiler=True)
+        for key in ("diffs", "notices", "intervals"):
+            assert plain.counters[key] == prof.counters[key], key
+
+    @given(program_shape)
+    @settings(max_examples=20, deadline=None)
+    def test_at_most_one_oal_entry_per_object_interval(self, shape):
+        djvm, _, suite = build_and_run(shape, with_profiler=True, rate="full")
+        # Recollect: every delivered batch has unique object ids.
+        assert suite.collector.batches_received >= 0
+        # (Uniqueness is structural in the profiler's dict; verify the
+        # invariant the cheap way: total logged accesses == sum of batch
+        # lengths implies no duplicates slipped through.)
+        assert suite.access_profiler.total_logged == suite.collector.entries_received

@@ -1,0 +1,89 @@
+"""Tests for the correlation-aware load balancer."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import MigrationCostModel
+from repro.placement.balancer import CorrelationAwareBalancer
+from repro.sim.costs import CostModel
+from repro.sim.network import Network
+
+
+def balancer(**kw):
+    return CorrelationAwareBalancer(
+        MigrationCostModel(Network(), CostModel.gideon300()), **kw
+    )
+
+
+def partner_tcm(shared=1e7):
+    """Threads 0,1 share heavily but start on different nodes."""
+    tcm = np.zeros((4, 4))
+    tcm[0, 1] = tcm[1, 0] = shared
+    return tcm
+
+
+class TestPropose:
+    def test_profitable_colocations_proposed(self):
+        props = balancer(horizon_intervals=50).propose(
+            partner_tcm(), {0: 0, 1: 1, 2: 2, 3: 3}, 4
+        )
+        assert props, "expected at least one proposal"
+        moved = {p.thread_id for p in props}
+        assert moved & {0, 1}
+        best = props[0]
+        assert best.profit_ns > 0
+
+    def test_no_proposals_when_sharing_tiny(self):
+        props = balancer(horizon_intervals=1).propose(
+            partner_tcm(shared=10.0), {0: 0, 1: 1, 2: 2, 3: 3}, 4
+        )
+        assert props == []
+
+    def test_each_thread_moved_once(self):
+        tcm = np.full((4, 4), 1e7)
+        np.fill_diagonal(tcm, 0)
+        props = balancer(horizon_intervals=50).propose(
+            tcm, {t: t for t in range(4)}, 4
+        )
+        moved = [p.thread_id for p in props]
+        assert len(moved) == len(set(moved))
+
+    def test_load_cap_respected(self):
+        tcm = np.full((6, 6), 1e8)
+        np.fill_diagonal(tcm, 0)
+        placement = {t: t % 3 for t in range(6)}
+        props = balancer(horizon_intervals=100, max_load_factor=1.5).propose(
+            tcm, placement, 3
+        )
+        # Apply and check loads: cap = 1.5 * 2 = 3.
+        load = {n: 0 for n in range(3)}
+        for t, n in placement.items():
+            load[n] += 1
+        for p in props:
+            load[p.from_node] -= 1
+            load[p.to_node] += 1
+        assert max(load.values()) <= 3
+
+    def test_sticky_footprint_raises_cost(self):
+        """A thread with a huge sticky set may become unprofitable to move."""
+        placement = {0: 0, 1: 1, 2: 2, 3: 3}
+        big_fp = {0: {"Node": 5e7}, 1: {"Node": 5e7}}
+        cheap = balancer(horizon_intervals=3).propose(partner_tcm(1e6), placement, 4)
+        pricey = balancer(horizon_intervals=3).propose(
+            partner_tcm(1e6), placement, 4, footprints=big_fp
+        )
+        assert len(pricey) <= len(cheap)
+
+    def test_max_proposals_cap(self):
+        tcm = np.full((6, 6), 1e8)
+        np.fill_diagonal(tcm, 0)
+        props = balancer(horizon_intervals=100).propose(
+            tcm, {t: t % 3 for t in range(6)}, 3, max_proposals=1
+        )
+        assert len(props) <= 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            balancer(horizon_intervals=0)
+        with pytest.raises(ValueError):
+            balancer(max_load_factor=0.5)

@@ -1,0 +1,99 @@
+"""Tests for TCM-driven thread partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.placement.partition import greedy_partition, partition_quality, refine_partition
+
+
+def block_tcm(n_groups=4, group_size=2, intra=100.0, inter=1.0):
+    n = n_groups * group_size
+    tcm = np.full((n, n), inter)
+    for g in range(n_groups):
+        lo, hi = g * group_size, (g + 1) * group_size
+        tcm[lo:hi, lo:hi] = intra
+    np.fill_diagonal(tcm, 0.0)
+    return tcm
+
+
+class TestPartitionQuality:
+    def test_perfect_assignment(self):
+        tcm = block_tcm(2, 2, intra=10.0, inter=0.0)
+        q = partition_quality(tcm, [0, 0, 1, 1])
+        assert q["remote_bytes"] == 0
+        assert q["local_fraction"] == 1.0
+
+    def test_worst_assignment(self):
+        tcm = block_tcm(2, 2, intra=10.0, inter=0.0)
+        q = partition_quality(tcm, [0, 1, 0, 1])
+        assert q["local_bytes"] == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            partition_quality(block_tcm(), [0, 1])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            partition_quality(np.zeros((2, 3)), [0, 0])
+
+
+class TestGreedyPartition:
+    def test_groups_colocated(self):
+        tcm = block_tcm(4, 2)
+        assignment = greedy_partition(tcm, 4)
+        for g in range(4):
+            assert assignment[2 * g] == assignment[2 * g + 1]
+
+    def test_balance_respected(self):
+        tcm = block_tcm(4, 2)
+        assignment = greedy_partition(tcm, 4)
+        loads = [assignment.count(k) for k in range(4)]
+        assert max(loads) <= 2
+
+    def test_all_threads_placed(self):
+        tcm = block_tcm(3, 3)
+        assignment = greedy_partition(tcm, 3)
+        assert all(0 <= a < 3 for a in assignment)
+
+    def test_isolated_threads_still_placed(self):
+        tcm = np.zeros((4, 4))
+        assignment = greedy_partition(tcm, 2)
+        assert sorted(assignment.count(k) for k in range(2)) == [2, 2]
+
+    def test_impossible_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_partition(block_tcm(2, 2), 2, capacity=1)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            greedy_partition(block_tcm(), 0)
+
+
+class TestRefinePartition:
+    def test_repairs_bad_seed(self):
+        tcm = block_tcm(2, 2, intra=100.0, inter=0.0)
+        bad = [0, 1, 0, 1]
+        refined = refine_partition(tcm, bad)
+        q = partition_quality(tcm, refined)
+        assert q["local_fraction"] == 1.0
+
+    def test_preserves_load(self):
+        tcm = block_tcm(4, 2)
+        seed = [0, 1, 2, 3, 0, 1, 2, 3]
+        refined = refine_partition(tcm, seed)
+        for k in range(4):
+            assert refined.count(k) == seed.count(k)
+
+    def test_never_degrades(self):
+        rng = np.random.default_rng(3)
+        tcm = rng.random((8, 8))
+        tcm = (tcm + tcm.T) / 2
+        np.fill_diagonal(tcm, 0.0)
+        seed = [0, 0, 1, 1, 2, 2, 3, 3]
+        before = partition_quality(tcm, seed)["remote_bytes"]
+        after = partition_quality(tcm, refine_partition(tcm, seed))["remote_bytes"]
+        assert after <= before + 1e-9
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            refine_partition(block_tcm(), [0])

@@ -1,0 +1,73 @@
+"""Tests for the DJVM facade."""
+
+import pytest
+
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+
+from tests.conftest import simple_class, wrap_main
+
+
+class TestSetup:
+    def test_spawn_thread_placement(self):
+        djvm = DJVM(n_nodes=2)
+        t = djvm.spawn_thread(1)
+        assert t.node_id == 1
+        assert t.thread_id in djvm.cluster[1].thread_ids
+
+    def test_spawn_bad_node_rejected(self):
+        with pytest.raises(ValueError):
+            DJVM(n_nodes=2).spawn_thread(5)
+
+    def test_round_robin_placement(self):
+        djvm = DJVM(n_nodes=3)
+        djvm.spawn_threads(6, placement="round_robin")
+        assert [t.node_id for t in djvm.threads] == [0, 1, 2, 0, 1, 2]
+
+    def test_block_placement(self):
+        djvm = DJVM(n_nodes=2)
+        djvm.spawn_threads(4, placement="block")
+        assert [t.node_id for t in djvm.threads] == [0, 0, 1, 1]
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            DJVM(n_nodes=2).spawn_threads(2, placement="nope")
+
+    def test_define_class_delegates(self):
+        djvm = DJVM(n_nodes=1)
+        cls = djvm.define_class("X", 32)
+        assert djvm.registry.get("X") is cls
+
+
+class TestRunResult:
+    def run_simple(self):
+        djvm = DJVM(n_nodes=2, costs=CostModel.fast_test())
+        cls = simple_class(djvm)
+        obj = djvm.allocate(cls, 0)
+        djvm.spawn_threads(2)
+        return djvm, djvm.run(
+            {
+                0: wrap_main([P.read(obj.obj_id), P.barrier(0)]),
+                1: wrap_main([P.read(obj.obj_id), P.barrier(0)]),
+            }
+        )
+
+    def test_execution_time_is_max_finish(self):
+        djvm, res = self.run_simple()
+        assert res.execution_time_ms == max(res.thread_finish_ms.values())
+
+    def test_counters_surface(self):
+        djvm, res = self.run_simple()
+        assert res.counters["faults"] == 1  # thread 1 faults the remote copy
+        assert res.counters["intervals"] == 4
+
+    def test_total_cpu_aggregates(self):
+        djvm, res = self.run_simple()
+        total = res.total_cpu
+        assert total.total_ns == sum(c.total_ns for c in res.thread_cpu.values())
+
+    def test_summary_renders(self):
+        djvm, res = self.run_simple()
+        s = res.summary()
+        assert "execution" in s and "GOS traffic" in s

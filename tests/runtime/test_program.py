@@ -1,0 +1,113 @@
+"""Tests for the op-stream format and builder."""
+
+from repro.runtime import program as P
+from repro.runtime.program import ProgramBuilder, validate_program
+
+
+class TestConstructors:
+    def test_read_defaults(self):
+        assert P.read(5) == (P.OP_READ, 5, 1, 1, 0)
+
+    def test_write_fields(self):
+        assert P.write(5, n_elems=3, repeat=2, elem_off=7) == (P.OP_WRITE, 5, 3, 2, 7)
+
+    def test_call_refs_tuple(self):
+        op = P.call("m", 4, refs=[(0, 9)])
+        assert op == (P.OP_CALL, "m", 4, ((0, 9),))
+
+    def test_sync_ops(self):
+        assert P.acquire(3) == (P.OP_ACQUIRE, 3)
+        assert P.release(3) == (P.OP_RELEASE, 3)
+        assert P.barrier(2) == (P.OP_BARRIER, 2)
+
+
+class TestProgramBuilder:
+    def test_chaining_builds_list(self):
+        ops = (
+            ProgramBuilder()
+            .call("main", 2)
+            .read(0)
+            .write(0)
+            .compute(10)
+            .setslot(0, 5)
+            .barrier(0)
+            .ret()
+            .ops()
+        )
+        assert [op[0] for op in ops] == [
+            P.OP_CALL,
+            P.OP_READ,
+            P.OP_WRITE,
+            P.OP_COMPUTE,
+            P.OP_SETSLOT,
+            P.OP_BARRIER,
+            P.OP_RET,
+        ]
+
+    def test_len_and_iter(self):
+        b = ProgramBuilder().read(0).read(1)
+        assert len(b) == 2
+        assert len(list(b)) == 2
+
+    def test_extend(self):
+        b = ProgramBuilder().extend([P.read(0), P.ret()])
+        assert len(b) == 2
+
+
+class TestValidateProgram:
+    def test_valid_program(self):
+        ops = ProgramBuilder().call("m", 2).read(0).ret().ops()
+        assert validate_program(ops) == []
+
+    def test_unbalanced_ret(self):
+        assert any("RET" in p for p in validate_program([P.ret()]))
+
+    def test_unpopped_frames(self):
+        assert any("unpopped" in p for p in validate_program([P.call("m", 2)]))
+
+    def test_setslot_outside_frame(self):
+        assert any("SETSLOT" in p for p in validate_program([P.setslot(0, 1)]))
+
+    def test_double_acquire(self):
+        probs = validate_program([P.acquire(1), P.acquire(1), P.release(1), P.release(1)])
+        assert any("already held" in p for p in probs)
+
+    def test_unreleased_lock(self):
+        assert any("holding locks" in p for p in validate_program([P.acquire(2)]))
+
+    def test_release_unheld(self):
+        assert any("not held" in p for p in validate_program([P.release(9)]))
+
+
+class TestWorkloadProgramsAreValid:
+    """Every shipped workload must emit structurally valid op streams."""
+
+    def test_sor(self):
+        from repro.runtime.djvm import DJVM
+        from repro.sim.costs import CostModel
+        from repro.workloads import SORWorkload
+
+        wl = SORWorkload(n=64, rounds=2, n_threads=4)
+        wl.build(DJVM(4, costs=CostModel.fast_test()))
+        for t in range(4):
+            assert validate_program(list(wl.program(t))) == []
+
+    def test_barnes_hut(self):
+        from repro.runtime.djvm import DJVM
+        from repro.sim.costs import CostModel
+        from repro.workloads import BarnesHutWorkload
+
+        wl = BarnesHutWorkload(n_bodies=128, rounds=2, n_threads=4)
+        wl.build(DJVM(4, costs=CostModel.fast_test()))
+        for t in range(4):
+            assert validate_program(list(wl.program(t))) == []
+
+    def test_water_spatial(self):
+        from repro.runtime.djvm import DJVM
+        from repro.sim.costs import CostModel
+        from repro.workloads import WaterSpatialWorkload
+
+        wl = WaterSpatialWorkload(n_molecules=64, rounds=2, n_threads=4)
+        wl.build(DJVM(4, costs=CostModel.fast_test()))
+        for t in range(4):
+            assert validate_program(list(wl.program(t))) == []

@@ -1,0 +1,81 @@
+"""Tests for the simulated Java stack."""
+
+import pytest
+
+from repro.runtime.stack import Frame, JavaStack
+
+
+class TestFrame:
+    def test_slots_initialized(self):
+        f = Frame("m", 4, refs={1: 42})
+        assert f.slots == [None, 42, None, None]
+        assert not f.visited
+
+    def test_ref_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            Frame("m", 2, refs={5: 1})
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            Frame("m", -1)
+
+    def test_unique_uids(self):
+        assert Frame("m", 1).frame_uid != Frame("m", 1).frame_uid
+
+    def test_ref_slots(self):
+        f = Frame("m", 3, refs={0: 7, 2: 9})
+        assert f.ref_slots() == [(0, 7), (2, 9)]
+
+    def test_set_get_slot(self):
+        f = Frame("m", 2)
+        f.set_slot(1, 13)
+        assert f.get_slot(1) == 13
+
+
+class TestJavaStack:
+    def make(self, n: int) -> tuple[JavaStack, list[Frame]]:
+        st = JavaStack()
+        frames = [Frame(f"m{i}", 2) for i in range(n)]
+        for f in frames:
+            st.push(f)
+        return st, frames
+
+    def test_push_pop_lifo(self):
+        st, frames = self.make(3)
+        assert st.pop() is frames[2]
+        assert st.top is frames[1]
+        assert len(st) == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            JavaStack().pop()
+
+    def test_top_bottom(self):
+        st, frames = self.make(3)
+        assert st.top is frames[2]
+        assert st.bottom is frames[0]
+        assert JavaStack().top is None
+        assert JavaStack().bottom is None
+
+    def test_iteration_orders(self):
+        st, frames = self.make(3)
+        assert list(st) == frames
+        assert list(st.frames_top_down()) == frames[::-1]
+
+    def test_frame_at(self):
+        st, frames = self.make(3)
+        assert st.frame_at(0) is frames[2]
+        assert st.frame_at(2) is frames[0]
+
+    def test_total_slots(self):
+        st = JavaStack()
+        st.push(Frame("a", 3))
+        st.push(Frame("b", 5))
+        assert st.total_slots() == 8
+
+    def test_live_refs(self):
+        st = JavaStack()
+        st.push(Frame("a", 2, refs={0: 5}))
+        st.push(Frame("b", 2, refs={1: 5}))
+        st.push(Frame("c", 2, refs={0: 9}))
+        assert st.live_refs() == {5, 9}

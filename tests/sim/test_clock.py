@@ -1,0 +1,50 @@
+"""Tests for simulated clocks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clock import NS_PER_MS, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert SimClock(500).now_ns == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_advance(self):
+        c = SimClock()
+        assert c.advance(100) == 100
+        assert c.advance(50) == 150
+
+    def test_advance_negative_rejected(self):
+        c = SimClock()
+        with pytest.raises(ValueError):
+            c.advance(-1)
+
+    def test_advance_to_never_rewinds(self):
+        c = SimClock(1000)
+        c.advance_to(500)
+        assert c.now_ns == 1000
+        c.advance_to(2000)
+        assert c.now_ns == 2000
+
+    def test_ms_conversion(self):
+        c = SimClock(3 * NS_PER_MS)
+        assert c.now_ms == pytest.approx(3.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=30))
+    def test_monotone_under_any_advance_sequence(self, deltas):
+        c = SimClock()
+        prev = 0
+        for d in deltas:
+            c.advance(d)
+            assert c.now_ns >= prev
+            prev = c.now_ns
+        assert c.now_ns == sum(deltas)

@@ -1,0 +1,48 @@
+"""Tests for Cluster and Node."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.node import Node
+
+
+class TestNode:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Node(-1)
+
+    def test_starts_empty(self):
+        n = Node(0)
+        assert n.thread_ids == set()
+        assert n.cpu.total_ns == 0
+
+
+class TestCluster:
+    def test_size_and_indexing(self):
+        c = Cluster(4)
+        assert len(c) == 4
+        assert c[2].node_id == 2
+
+    def test_master_defaults_to_node_zero(self):
+        assert Cluster(3).master.node_id == 0
+
+    def test_custom_master(self):
+        assert Cluster(3, master_id=2).master.node_id == 2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+        with pytest.raises(ValueError):
+            Cluster(2, master_id=5)
+
+    def test_node_of_thread(self):
+        c = Cluster(2)
+        c[1].thread_ids.add(7)
+        assert c.node_of_thread(7).node_id == 1
+        with pytest.raises(KeyError):
+            c.node_of_thread(99)
+
+    def test_default_costs_and_network(self):
+        c = Cluster(2)
+        assert c.costs.page_size == 4096
+        assert c.network.latency_ns > 0

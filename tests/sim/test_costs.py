@@ -1,0 +1,69 @@
+"""Tests for the CPU cost model and accounting."""
+
+import pytest
+
+from repro.sim.costs import CostModel, CpuAccounting
+
+
+class TestCostModel:
+    def test_cost_ordering_preserved(self):
+        """The calibrated ratios the reproduction relies on: fast-path
+        check << logging slow path << anything network-ish."""
+        c = CostModel.gideon300()
+        assert c.state_check_ns < c.oal_log_ns
+        assert c.oal_log_ns < c.gos_trap_ns * 10
+        assert c.gos_trap_ns < c.migration_fixed_ns
+        assert c.raw_capture_ns_per_slot < c.extract_ns_per_slot
+        assert c.probe_ns_per_slot < c.extract_ns_per_slot
+
+    def test_scaled_compute(self):
+        c = CostModel(compute_scale=0.5)
+        assert c.scaled_compute(1000) == 500
+
+    def test_scaled_compute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel().scaled_compute(-5)
+
+    def test_with_overrides(self):
+        c = CostModel().with_overrides(state_check_ns=99)
+        assert c.state_check_ns == 99
+        # Original untouched (frozen dataclass semantics).
+        assert CostModel().state_check_ns != 99
+
+    def test_fast_test_preserves_ratios(self):
+        base = CostModel.gideon300()
+        fast = CostModel.fast_test()
+        assert fast.state_check_ns == base.state_check_ns
+        assert fast.compute_scale < base.compute_scale
+
+
+class TestCpuAccounting:
+    def test_total_sums_all_buckets(self):
+        cpu = CpuAccounting(compute_ns=10, access_ns=20, oal_logging_ns=5)
+        cpu.extra["foo"] = 7
+        assert cpu.total_ns == 42
+
+    def test_profiling_subset(self):
+        cpu = CpuAccounting(
+            compute_ns=1000,
+            oal_logging_ns=5,
+            oal_packing_ns=3,
+            stack_sampling_ns=2,
+            footprinting_ns=1,
+            resolution_ns=4,
+            resampling_ns=6,
+        )
+        assert cpu.profiling_ns == 21
+        assert cpu.total_ns == 1021
+
+    def test_merge(self):
+        a = CpuAccounting(compute_ns=10, network_wait_ns=5)
+        a.extra["x"] = 1
+        b = CpuAccounting(compute_ns=3, migration_ns=7)
+        b.extra["x"] = 2
+        b.extra["y"] = 4
+        a.merge(b)
+        assert a.compute_ns == 13
+        assert a.migration_ns == 7
+        assert a.network_wait_ns == 5
+        assert a.extra == {"x": 3, "y": 4}

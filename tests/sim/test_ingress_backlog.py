@@ -1,0 +1,73 @@
+"""Tests for the ingress-backlog model (bursty OAL traffic delaying
+barrier releases at the master)."""
+
+import pytest
+
+from repro.core.profiler import ProfilerSuite
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+from repro.sim.network import Network
+
+from tests.conftest import simple_class, wrap_main
+
+
+class TestNetworkBacklog:
+    def test_accumulates_and_drains(self):
+        net = Network()
+        net.add_ingress_backlog(0, 100)
+        net.add_ingress_backlog(0, 50)
+        assert net.drain_ingress_backlog(0) == 150
+        assert net.drain_ingress_backlog(0) == 0
+
+    def test_per_node_isolation(self):
+        net = Network()
+        net.add_ingress_backlog(0, 100)
+        assert net.drain_ingress_backlog(1) == 0
+        assert net.drain_ingress_backlog(0) == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Network().add_ingress_backlog(0, -1)
+
+    def test_reset_clears(self):
+        net = Network()
+        net.add_ingress_backlog(0, 100)
+        net.reset_stats()
+        assert net.drain_ingress_backlog(0) == 0
+
+
+class TestBarrierDelay:
+    def run_once(self, send_oals: bool) -> float:
+        djvm = DJVM(n_nodes=2, costs=CostModel.fast_test())
+        cls = simple_class(djvm, "Obj", 64)
+        objs = [djvm.allocate(cls, i % 2) for i in range(64)]
+        djvm.spawn_thread(0)
+        djvm.spawn_thread(1)
+        suite = ProfilerSuite(djvm, correlation=True, send_oals=send_oals)
+        suite.set_full_sampling()
+        reads = [P.read(o.obj_id) for o in objs]
+        res = djvm.run(
+            {
+                0: wrap_main(reads + [P.barrier(0)]),
+                1: wrap_main(reads + [P.barrier(0)]),
+            }
+        )
+        return res.execution_time_ms
+
+    def test_oal_bursts_delay_barriers(self):
+        """With OAL sends on, the remote worker's jumbo message queues at
+        the master's NIC and the barrier release waits for it."""
+        assert self.run_once(send_oals=True) > self.run_once(send_oals=False)
+
+    def test_master_local_oals_add_no_backlog(self):
+        """A single thread on the master sends nothing over the wire:
+        no backlog may accumulate."""
+        djvm = DJVM(n_nodes=1, costs=CostModel.fast_test())
+        cls = simple_class(djvm, "Obj", 64)
+        obj = djvm.allocate(cls, 0)
+        djvm.spawn_thread(0)
+        suite = ProfilerSuite(djvm, correlation=True, send_oals=True)
+        suite.set_full_sampling()
+        djvm.run({0: wrap_main([P.read(obj.obj_id), P.barrier(0)])})
+        assert djvm.cluster.network.drain_ingress_backlog(0) == 0

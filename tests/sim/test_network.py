@@ -1,0 +1,94 @@
+"""Tests for the interconnect model and traffic accounting."""
+
+import pytest
+
+from repro.sim.network import GOS_KINDS, Message, MessageKind, Network, TrafficStats
+
+
+class TestTransferTime:
+    def test_latency_plus_serialization(self):
+        net = Network(latency_ns=1000, bandwidth_bytes_per_s=1e9, header_bytes=0)
+        # 1000 bytes at 1 GB/s = 1000 ns serialization.
+        assert net.transfer_time_ns(1000) == 2000
+
+    def test_header_bytes_counted(self):
+        net = Network(latency_ns=0, bandwidth_bytes_per_s=1e9, header_bytes=100)
+        assert net.transfer_time_ns(0) == 100
+
+    def test_piggyback_skips_latency_and_header(self):
+        net = Network(latency_ns=1000, bandwidth_bytes_per_s=1e9, header_bytes=100)
+        assert net.transfer_time_ns(500, piggybacked=True) == 500
+
+    def test_monotone_in_size(self):
+        net = Network()
+        assert net.transfer_time_ns(10_000) > net.transfer_time_ns(100)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Network().transfer_time_ns(-1)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            Network(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            Network(latency_ns=-5)
+
+
+class TestSendAccounting:
+    def test_local_messages_free_and_unrecorded(self):
+        net = Network()
+        assert net.send(MessageKind.DIFF, 1, 1, 4096, 0) == 0
+        assert net.stats.messages == 0
+
+    def test_remote_messages_recorded(self):
+        net = Network()
+        t = net.send(MessageKind.DIFF, 0, 1, 4096, 0)
+        assert t > 0
+        assert net.stats.messages == 1
+        assert net.stats.bytes_by_kind[MessageKind.DIFF] == 4096
+
+    def test_oal_vs_gos_split(self):
+        net = Network()
+        net.send(MessageKind.OBJECT_FETCH_DATA, 0, 1, 1000, 0)
+        net.send(MessageKind.LOCK, 0, 1, 32, 0)
+        net.send(MessageKind.OAL, 1, 0, 500, 0)
+        assert net.stats.gos_bytes == 1032
+        assert net.stats.oal_bytes == 500
+        assert net.stats.total_bytes == 1532
+
+    def test_oal_not_in_gos_kinds(self):
+        assert MessageKind.OAL not in GOS_KINDS
+        assert MessageKind.OAL.is_profiling
+
+    def test_piggyback_counted(self):
+        net = Network()
+        net.send(MessageKind.OAL, 0, 1, 100, 0, piggybacked=True)
+        assert net.stats.piggybacked_messages == 1
+
+    def test_round_trip(self):
+        net = Network(latency_ns=100, bandwidth_bytes_per_s=1e9, header_bytes=0)
+        assert net.round_trip_ns(100, 900) == 100 + 100 + 100 + 900
+
+    def test_reset_stats(self):
+        net = Network()
+        net.send(MessageKind.DIFF, 0, 1, 10, 0)
+        net.reset_stats()
+        assert net.stats.messages == 0
+
+    def test_log_kept_only_when_enabled(self):
+        net = Network()
+        net.send(MessageKind.DIFF, 0, 1, 10, 0)
+        assert net.log == []
+        net.keep_log = True
+        net.send(MessageKind.DIFF, 0, 1, 10, 5)
+        assert len(net.log) == 1
+        assert net.log[0].time_ns == 5
+
+
+class TestTrafficStats:
+    def test_bytes_for_multiple_kinds(self):
+        stats = TrafficStats()
+        stats.record(Message(MessageKind.DIFF, 0, 1, 10, 0))
+        stats.record(Message(MessageKind.LOCK, 0, 1, 20, 0))
+        assert stats.bytes_for(MessageKind.DIFF, MessageKind.LOCK) == 30
+        assert stats.count_by_kind[MessageKind.DIFF] == 1

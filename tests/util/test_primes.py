@@ -1,0 +1,83 @@
+"""Tests for prime selection (paper Section II.B.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.primes import is_prime, nearest_prime, prime_gap_for_nominal
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
+        for n in range(32):
+            assert is_prime(n) == (n in primes), n
+
+    def test_negative_and_zero(self):
+        assert not is_prime(0)
+        assert not is_prime(1)
+        assert not is_prime(-7)
+
+    def test_large_prime(self):
+        assert is_prime(104729)  # the 10000th prime
+
+    def test_large_composite(self):
+        assert not is_prime(104729 * 3)
+
+    @given(st.integers(min_value=2, max_value=5000))
+    def test_agrees_with_trial_division(self, n):
+        naive = n >= 2 and all(n % d for d in range(2, n))
+        assert is_prime(n) == naive
+
+
+class TestNearestPrime:
+    def test_prime_maps_to_itself(self):
+        for p in (2, 3, 31, 127, 8191):
+            assert nearest_prime(p) == p
+
+    def test_small_inputs_map_to_two(self):
+        assert nearest_prime(0) == 2
+        assert nearest_prime(1) == 2
+        assert nearest_prime(2) == 2
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_result_is_prime_and_nearest(self, n):
+        p = nearest_prime(n)
+        assert is_prime(p)
+        # No prime strictly closer.
+        for q in range(n - abs(n - p) + 1, n + abs(n - p)):
+            if q >= 2 and q != p:
+                assert not is_prime(q) or abs(q - n) >= abs(p - n)
+
+
+class TestPrimeGapForNominal:
+    def test_paper_examples(self):
+        """The paper quotes 31, 67, 127 for nominals 32, 64, 128."""
+        assert prime_gap_for_nominal(32) == 31
+        assert prime_gap_for_nominal(64) == 67
+        assert prime_gap_for_nominal(128) == 127
+
+    def test_full_sampling_preserved(self):
+        assert prime_gap_for_nominal(1) == 1
+
+    def test_prime_nominal_kept(self):
+        assert prime_gap_for_nominal(31) == 31
+        assert prime_gap_for_nominal(2) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prime_gap_for_nominal(0)
+        with pytest.raises(ValueError):
+            prime_gap_for_nominal(-4)
+
+    @given(st.integers(min_value=2, max_value=65536))
+    def test_always_prime(self, nominal):
+        assert is_prime(prime_gap_for_nominal(nominal))
+
+    @given(st.integers(min_value=2, max_value=65536))
+    def test_close_to_nominal(self, nominal):
+        """The prime gap never drifts far from the nominal (prime gaps
+        are dense enough below 2^16 that the distance stays tiny
+        relative to the nominal)."""
+        gap = prime_gap_for_nominal(nominal)
+        assert abs(gap - nominal) <= max(8, nominal // 4)

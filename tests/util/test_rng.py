@@ -1,0 +1,54 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import seeded_rng, split_rng
+
+
+class TestSeededRng:
+    def test_deterministic(self):
+        a = seeded_rng(7, "x").integers(0, 1 << 30, 10)
+        b = seeded_rng(7, "x").integers(0, 1 << 30, 10)
+        assert (a == b).all()
+
+    def test_labels_decorrelate(self):
+        a = seeded_rng(7, "x").integers(0, 1 << 30, 10)
+        b = seeded_rng(7, "y").integers(0, 1 << 30, 10)
+        assert not (a == b).all()
+
+    def test_seed_changes_stream(self):
+        a = seeded_rng(7, "x").integers(0, 1 << 30, 10)
+        b = seeded_rng(8, "x").integers(0, 1 << 30, 10)
+        assert not (a == b).all()
+
+    def test_nested_labels(self):
+        a = seeded_rng(7, "a", "b").integers(0, 1 << 30, 5)
+        b = seeded_rng(7, "a", "c").integers(0, 1 << 30, 5)
+        assert not (a == b).all()
+
+    def test_none_seed_is_zero(self):
+        a = seeded_rng(None, "x").integers(0, 1 << 30, 5)
+        b = seeded_rng(0, "x").integers(0, 1 << 30, 5)
+        assert (a == b).all()
+
+
+class TestSplitRng:
+    def test_children_independent(self):
+        children = split_rng(np.random.default_rng(1), 3)
+        draws = [c.integers(0, 1 << 30, 8) for c in children]
+        assert not (draws[0] == draws[1]).all()
+        assert not (draws[1] == draws[2]).all()
+
+    def test_count(self):
+        assert len(split_rng(np.random.default_rng(1), 5)) == 5
+        assert split_rng(np.random.default_rng(1), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            split_rng(np.random.default_rng(1), -1)
+
+    def test_deterministic_given_parent_state(self):
+        a = split_rng(np.random.default_rng(42), 2)
+        b = split_rng(np.random.default_rng(42), 2)
+        assert (a[0].integers(0, 100, 5) == b[0].integers(0, 100, 5)).all()

@@ -1,0 +1,103 @@
+"""Tests for the Barnes-Hut workload."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import block_contrast
+from repro.core.profiler import ProfilerSuite
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+from repro.workloads import BarnesHutWorkload
+
+
+def build(n_bodies=256, rounds=2, n_threads=4, n_nodes=4, **kw):
+    wl = BarnesHutWorkload(n_bodies=n_bodies, rounds=rounds, n_threads=n_threads, **kw)
+    djvm = DJVM(n_nodes=n_nodes, costs=CostModel.fast_test())
+    wl.build(djvm)
+    return wl, djvm
+
+
+class TestGalaxies:
+    def test_two_equal_galaxies(self):
+        wl, _ = build()
+        assert (wl.galaxy_of == 0).sum() == 128
+        assert (wl.galaxy_of == 1).sum() == 128
+
+    def test_costzone_order_groups_galaxies(self):
+        """After (galaxy, Morton) ordering, each thread's chunk is within
+        one galaxy (for thread counts dividing the galaxy split)."""
+        wl, _ = build(n_bodies=256, n_threads=4)
+        for t in range(4):
+            chunk = wl.galaxy_of[list(wl.bodies_of(t))]
+            assert len(set(chunk.tolist())) == 1
+
+    def test_bodies_have_vectors(self):
+        wl, djvm = build()
+        body = djvm.gos.get(wl.body_ids[0])
+        assert body.jclass.name == "Body"
+        assert len(body.refs) == 3
+        for v in body.refs:
+            assert djvm.gos.get(v).jclass.name == "Vect3"
+
+
+class TestOctree:
+    def test_tree_allocated_per_round(self):
+        wl, djvm = build(rounds=3)
+        roots = [plan[0] for plan in wl._round_plans]
+        assert len(set(roots)) == 3  # fresh tree each round
+
+    def test_leaf_capacity_respected(self):
+        wl = BarnesHutWorkload(n_bodies=128, rounds=1, n_threads=4, leaf_capacity=4)
+        pos, _, _ = wl._generate_galaxies()
+        root = wl._build_tree(pos)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert len(node.bodies) <= 4
+            else:
+                stack.extend(node.children)
+
+    def test_traversal_visits_fewer_with_larger_theta(self):
+        wl = BarnesHutWorkload(n_bodies=256, rounds=1, n_threads=4, theta=0.3)
+        pos, _, _ = wl._generate_galaxies()
+        root = wl._build_tree(pos)
+        tight, _ = wl._traverse(root, pos, 0)
+        wl.theta = 1.2
+        loose, _ = wl._traverse(root, pos, 0)
+        assert len(loose) < len(tight)
+
+    def test_traversal_covers_all_partners_at_tiny_theta(self):
+        """With theta -> 0 every other body is an interaction partner
+        (the traversal degenerates to all-pairs)."""
+        wl = BarnesHutWorkload(n_bodies=64, rounds=1, n_threads=4, theta=1e-6)
+        pos, _, _ = wl._generate_galaxies()
+        root = wl._build_tree(pos)
+        _, partners = wl._traverse(root, pos, 0)
+        assert sorted(partners) == [i for i in range(64) if i != 0]
+
+
+class TestSharingProfile:
+    def test_intra_galaxy_dominates(self):
+        wl, djvm = build(n_bodies=256, n_threads=8, n_nodes=4)
+        suite = ProfilerSuite(djvm, send_oals=False)
+        suite.set_full_sampling()
+        djvm.run(wl.programs())
+        tcm = suite.tcm()
+        groups = [0 if wl.galaxy_of[list(wl.bodies_of(t))[0]] == 0 else 1 for t in range(8)]
+        assert block_contrast(tcm, groups) > 1.5
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            BarnesHutWorkload(n_bodies=2, n_threads=4)
+        with pytest.raises(ValueError):
+            BarnesHutWorkload(theta=0)
+        with pytest.raises(ValueError):
+            BarnesHutWorkload(leaf_capacity=0)
+
+    def test_runs_to_completion(self):
+        wl, djvm = build()
+        res = djvm.run(wl.programs())
+        assert res.counters["intervals"] > 0
+        # 3 barrier episodes per round x 2 rounds.
+        assert len(djvm.hlrc.sync.barriers) == 6

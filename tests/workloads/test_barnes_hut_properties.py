@@ -1,0 +1,90 @@
+"""Property-based tests on the Barnes-Hut octree and ordering internals."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.barnes_hut import BarnesHutWorkload
+
+
+def workload(n_bodies=64, **kw):
+    return BarnesHutWorkload(n_bodies=n_bodies, rounds=1, n_threads=4, **kw)
+
+
+positions = st.integers(min_value=0, max_value=2**31 - 1).map(
+    lambda seed: np.random.default_rng(seed).uniform(-3, 3, size=(48, 3))
+)
+
+
+class TestOctreeProperties:
+    @given(positions)
+    @settings(max_examples=25, deadline=None)
+    def test_every_body_in_exactly_one_leaf(self, pos):
+        wl = workload(n_bodies=len(pos))
+        root = wl._build_tree(pos)
+        seen: list[int] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                seen.extend(node.bodies)
+            else:
+                assert node.bodies == []  # internal nodes hold no bodies
+                stack.extend(node.children)
+        assert sorted(seen) == list(range(len(pos)))
+
+    @given(positions)
+    @settings(max_examples=25, deadline=None)
+    def test_children_inside_parent_bounds(self, pos):
+        wl = workload(n_bodies=len(pos))
+        root = wl._build_tree(pos)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                for axis in range(3):
+                    assert (
+                        abs(child.center[axis] - node.center[axis])
+                        <= node.half + 1e-9
+                    )
+                assert child.half <= node.half / 2 + 1e-9
+                stack.append(child)
+
+    @given(positions)
+    @settings(max_examples=25, deadline=None)
+    def test_bodies_inside_root_bounds(self, pos):
+        wl = workload(n_bodies=len(pos))
+        root = wl._build_tree(pos)
+        for axis in range(3):
+            assert (pos[:, axis] >= root.center[axis] - root.half - 1e-6).all()
+            assert (pos[:, axis] <= root.center[axis] + root.half + 1e-6).all()
+
+    @given(positions, st.integers(min_value=0, max_value=47))
+    @settings(max_examples=25, deadline=None)
+    def test_traversal_partners_unique_and_exclude_self(self, pos, body):
+        wl = workload(n_bodies=len(pos))
+        root = wl._build_tree(pos)
+        _visited, partners = wl._traverse(root, pos, body)
+        assert body not in partners
+        assert len(partners) == len(set(partners))
+
+
+class TestMortonOrdering:
+    @given(positions)
+    @settings(max_examples=25, deadline=None)
+    def test_is_a_permutation(self, pos):
+        order = BarnesHutWorkload._morton_order(pos)
+        assert sorted(order.tolist()) == list(range(len(pos)))
+
+    def test_spatial_locality_of_consecutive_points(self):
+        """Consecutive points in Morton order are, on average, much
+        closer than random pairs — the property that makes contiguous
+        chunks spatially compact (costzone-like)."""
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 1, size=(512, 3))
+        order = BarnesHutWorkload._morton_order(pos)
+        ordered = pos[order]
+        consecutive = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+        shuffled = pos[rng.permutation(512)]
+        random_pairs = np.linalg.norm(np.diff(shuffled, axis=0), axis=1).mean()
+        assert consecutive < 0.5 * random_pairs

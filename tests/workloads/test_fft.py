@@ -1,0 +1,130 @@
+"""Tests for the FFT extension workload (all-to-all sharing topology)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import MigrationCostModel
+from repro.core.profiler import ProfilerSuite
+from repro.placement.balancer import CorrelationAwareBalancer
+from repro.runtime.djvm import DJVM
+from repro.runtime.program import validate_program
+from repro.sim.costs import CostModel
+from repro.workloads import FFTWorkload
+
+
+def build(n_points=1024, rounds=2, n_threads=4, n_nodes=4):
+    wl = FFTWorkload(n_points=n_points, rounds=rounds, n_threads=n_threads)
+    djvm = DJVM(n_nodes=n_nodes, costs=CostModel.fast_test())
+    wl.build(djvm)
+    return wl, djvm
+
+
+class TestStructure:
+    def test_square_required(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            FFTWorkload(n_points=1000)
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ValueError):
+            FFTWorkload(n_points=16, n_threads=8)
+
+    def test_two_matrices_allocated(self):
+        wl, djvm = build()
+        assert len(wl.row_ids) == wl.side
+        assert len(wl.trans_ids) == wl.side
+        row = djvm.gos.get(wl.row_ids[0])
+        assert row.size_bytes >= 16 * wl.side
+
+    def test_rows_homed_with_owners(self):
+        wl, djvm = build()
+        for t in range(4):
+            node = wl.node_of(t)
+            for r in wl.rows_of(t):
+                assert djvm.gos.get(wl.row_ids[r]).home_node == node
+                assert djvm.gos.get(wl.trans_ids[r]).home_node == node
+
+    def test_programs_valid(self):
+        wl, djvm = build()
+        for t in range(4):
+            assert validate_program(list(wl.program(t))) == []
+
+    def test_spec(self):
+        spec = FFTWorkload(n_points=65536).spec()
+        assert spec.name == "FFT"
+        assert "all-to-all" in spec.granularity
+
+
+class TestSharingTopology:
+    def test_tcm_is_flat(self):
+        """The all-to-all transpose yields a flat correlation map — every
+        off-diagonal pair within ~20% of the mean."""
+        wl, djvm = build(n_points=4096, rounds=2, n_threads=4)
+        suite = ProfilerSuite(djvm, send_oals=False)
+        suite.set_full_sampling()
+        djvm.run(wl.programs())
+        tcm = suite.tcm()
+        off = tcm[~np.eye(4, dtype=bool)]
+        assert off.min() > 0
+        assert off.max() / off.min() < 1.6
+
+    def test_true_tcm_flat(self):
+        wl = FFTWorkload(n_points=4096, n_threads=4)
+        truth = wl.true_tcm()
+        off = truth[~np.eye(4, dtype=bool)]
+        assert (off == off[0]).all()
+
+    def test_all_balanced_placements_equivalent(self):
+        """The placement negative control: on a flat map every *balanced*
+        assignment has identical quality — there is no wrong balanced
+        placement to fix (the only 'gain' available is consolidation,
+        i.e. packing more threads per node, which trades off against
+        load, not against a smarter permutation)."""
+        from repro.placement.partition import greedy_partition, partition_quality
+
+        wl, djvm = build(n_points=4096, rounds=2, n_threads=8, n_nodes=4)
+        suite = ProfilerSuite(djvm, send_oals=False)
+        suite.set_rate_all(4)
+        djvm.run(wl.programs())
+        tcm = suite.tcm()
+        block = [0, 0, 1, 1, 2, 2, 3, 3]
+        permuted = [0, 1, 2, 3, 3, 2, 1, 0]
+        q_block = partition_quality(tcm, block)
+        q_perm = partition_quality(tcm, permuted)
+        assert q_block["local_bytes"] == pytest.approx(
+            q_perm["local_bytes"], rel=0.05
+        )
+        # The partitioner cannot beat an arbitrary balanced placement.
+        derived = greedy_partition(tcm, 4)
+        q_derived = partition_quality(tcm, derived)
+        assert q_derived["local_fraction"] <= q_block["local_fraction"] + 0.05
+
+    def test_balancer_only_proposes_consolidation(self):
+        """On a flat map the balancer's proposals (if any) can only be
+        consolidation moves — the gain of every proposal equals (extra
+        partners gained - partners left behind) x the uniform pair volume."""
+        wl, djvm = build(n_points=4096, rounds=2, n_threads=8, n_nodes=4)
+        suite = ProfilerSuite(djvm, send_oals=False)
+        suite.set_rate_all(4)
+        djvm.run(wl.programs())
+        tcm = suite.tcm()
+        balancer = CorrelationAwareBalancer(
+            MigrationCostModel(djvm.cluster.network, djvm.costs),
+            horizon_intervals=10,
+        )
+        placement = {t.thread_id: t.node_id for t in djvm.threads}
+        pair_volume = tcm[0, 1]
+        for prop in balancer.propose(tcm, placement, 4):
+            gained_partners = round(
+                prop.gain_ns
+                * djvm.cluster.network.bandwidth_bytes_per_s
+                / 1e9
+                / 10  # horizon
+                / pair_volume
+            )
+            assert gained_partners >= 1  # strictly packs threads together
+
+    def test_transpose_generates_all_to_all_faults(self):
+        wl, djvm = build(n_points=4096, rounds=1, n_threads=4)
+        res = djvm.run(wl.programs())
+        # Every thread must fault rows of every other thread at least once.
+        assert res.counters["faults"] >= 3 * wl.side // 4

@@ -1,0 +1,63 @@
+"""Tests for synthetic workloads and their ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import accuracy
+from repro.core.profiler import ProfilerSuite
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+from repro.workloads import GroupSharingWorkload, UniformSharingWorkload
+
+
+class TestGroupSharing:
+    def test_group_size_must_divide(self):
+        with pytest.raises(ValueError):
+            GroupSharingWorkload(n_threads=6, group_size=4)
+
+    def test_true_tcm_block_structure(self):
+        wl = GroupSharingWorkload(n_threads=4, group_size=2, objects_per_group=10, object_size=100)
+        tcm = wl.true_tcm()
+        assert tcm[0, 1] == 1000
+        assert tcm[0, 2] == 0
+        assert np.allclose(tcm, tcm.T)
+
+    def test_global_pool_adds_floor(self):
+        wl = GroupSharingWorkload(
+            n_threads=4, group_size=2, objects_per_group=10, global_objects=5, object_size=100
+        )
+        assert wl.true_tcm()[0, 2] == 500
+
+    def test_profiled_tcm_matches_truth_at_full_sampling(self):
+        wl = GroupSharingWorkload(n_threads=8, group_size=2, rounds=2)
+        djvm = DJVM(n_nodes=4, costs=CostModel.fast_test())
+        wl.build(djvm)
+        suite = ProfilerSuite(djvm, send_oals=False)
+        suite.set_full_sampling()
+        djvm.run(wl.programs())
+        measured = suite.tcm()
+        # Group objects are read every round and logged once per interval,
+        # so per-window dedup makes measured == truth structure; compare
+        # normalized shapes.
+        truth = wl.true_tcm()
+        assert accuracy(measured / measured.max(), truth / truth.max(), "abs") > 0.95
+
+
+class TestUniformSharing:
+    def test_flat_truth(self):
+        wl = UniformSharingWorkload(n_threads=3, n_objects=4, object_size=8)
+        tcm = wl.true_tcm()
+        assert tcm[0, 1] == 32
+        assert tcm[0, 0] == 0
+
+    def test_profiled_tcm_is_flat(self):
+        wl = UniformSharingWorkload(n_threads=4, n_objects=32, rounds=1)
+        djvm = DJVM(n_nodes=2, costs=CostModel.fast_test())
+        wl.build(djvm)
+        suite = ProfilerSuite(djvm, send_oals=False)
+        suite.set_full_sampling()
+        djvm.run(wl.programs())
+        tcm = suite.tcm()
+        off_diag = tcm[~np.eye(4, dtype=bool)]
+        assert (off_diag == off_diag[0]).all()
+        assert off_diag[0] > 0

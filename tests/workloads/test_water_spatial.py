@@ -1,0 +1,93 @@
+"""Tests for the Water-Spatial workload."""
+
+import pytest
+
+from repro.core.profiler import ProfilerSuite
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+from repro.workloads import WaterSpatialWorkload
+
+
+def build(n_molecules=128, rounds=3, n_threads=4, n_nodes=4, grid=4):
+    wl = WaterSpatialWorkload(
+        n_molecules=n_molecules, rounds=rounds, n_threads=n_threads, grid=grid
+    )
+    djvm = DJVM(n_nodes=n_nodes, costs=CostModel.fast_test())
+    wl.build(djvm)
+    return wl, djvm
+
+
+class TestGeometry:
+    def test_cell_index_roundtrip(self):
+        wl = WaterSpatialWorkload(grid=4, n_threads=4)
+        for idx in range(64):
+            assert wl.cell_index(wl.cell_coords(idx)) == idx
+
+    def test_neighbours_interior_cell(self):
+        wl = WaterSpatialWorkload(grid=4, n_threads=4)
+        centre = wl.cell_index((1, 1, 1))
+        assert len(wl.neighbours(centre)) == 27
+
+    def test_neighbours_corner_cell(self):
+        wl = WaterSpatialWorkload(grid=4, n_threads=4)
+        assert len(wl.neighbours(wl.cell_index((0, 0, 0)))) == 8
+
+    def test_cells_partitioned(self):
+        wl = WaterSpatialWorkload(grid=4, n_threads=4)
+        seen = []
+        for t in range(4):
+            seen.extend(wl.cells_of(t))
+        assert sorted(seen) == list(range(64))
+        assert wl.owner_of_cell(0) == 0
+
+    def test_too_few_cells_rejected(self):
+        with pytest.raises(ValueError):
+            WaterSpatialWorkload(grid=1, n_threads=8)
+
+
+class TestStructure:
+    def test_molecule_object_model(self):
+        wl, djvm = build()
+        mol = djvm.gos.get(wl.mol_ids[0])
+        assert mol.jclass.name == "Molecule"
+        coords = djvm.gos.get(mol.refs[0])
+        assert coords.jclass.name == "double[]"
+        # ~512 bytes per molecule, per the paper's Table I.
+        assert 400 <= mol.size_bytes + coords.size_bytes <= 600
+
+    def test_membership_conserves_molecules(self):
+        wl, _ = build()
+        for members in wl._rounds_members:
+            total = sum(len(ms) for ms in members)
+            assert total == wl.n_molecules
+
+    def test_molecules_move_between_cells(self):
+        """The evolving-load property: at least some molecules change
+        cells across rounds."""
+        wl, _ = build(rounds=3)
+        total_moves = sum(
+            len(moves) for round_moves in wl._rounds_moves for moves in round_moves.values()
+        )
+        assert total_moves > 0
+
+
+class TestExecution:
+    def test_runs_to_completion(self):
+        wl, djvm = build()
+        res = djvm.run(wl.programs())
+        assert res.execution_time_ms > 0
+        assert len(djvm.hlrc.sync.barriers) == 6  # 2 per round x 3 rounds
+
+    def test_neighbour_slab_sharing(self):
+        """Threads own x-slabs, so sharing concentrates on slab
+        neighbours."""
+        wl, djvm = build(n_molecules=256, n_threads=4, n_nodes=4)
+        suite = ProfilerSuite(djvm, send_oals=False)
+        suite.set_full_sampling()
+        djvm.run(wl.programs())
+        tcm = suite.tcm()
+        # Adjacent slabs share; the two extreme slabs (0 and 3) share
+        # less than adjacent pairs do.
+        adjacent = min(tcm[i, i + 1] for i in range(3))
+        assert adjacent > 0
+        assert tcm[0, 3] < max(tcm[i, i + 1] for i in range(3))
