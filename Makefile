@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-paper examples demo clean
+.PHONY: install test bench bench-paper perf examples demo clean
 
 install:
 	pip install -e .
@@ -13,6 +13,14 @@ bench:
 
 bench-paper:
 	REPRO_PAPER_SCALE=1 pytest benchmarks/ --benchmark-only
+
+# Regenerate the tracked perf report, guarding against wall-time
+# regressions (>20% by default; override with PERF_TOLERANCE=0.3 etc.)
+# relative to the committed BENCH_perf.json baseline.
+perf:
+	PYTHONPATH=src python benchmarks/perf_harness.py --output BENCH_perf.new.json
+	PYTHONPATH=src python benchmarks/check_regression.py BENCH_perf.json BENCH_perf.new.json
+	mv BENCH_perf.new.json BENCH_perf.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; python $$f; echo; done

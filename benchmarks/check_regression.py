@@ -1,0 +1,96 @@
+"""Fail when the current perf report regresses against the baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json
+
+Compares every wall-time in the two ``BENCH_perf.json``-shaped reports
+(workload phases and kernels).  Exits non-zero when any wall-time in
+CURRENT is more than ``PERF_TOLERANCE`` (default 0.20 = 20%) slower than
+BASELINE, after an absolute slack of ``PERF_ABS_SLACK_S`` (default
+0.02 s) that keeps millisecond-scale measurements — whose run-to-run
+scheduler noise easily exceeds 20% — from flaking the guard.
+Determinism checksums are compared too: a mismatch means the simulation
+itself changed, which a perf-only PR must not do, and is reported as a
+hard failure regardless of tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.20
+DEFAULT_ABS_SLACK_S = 0.02
+
+
+def iter_wall_times(report: dict):
+    """Yield (label, wall_s) for every measurement in a report."""
+    for wl, phases in sorted(report.get("workloads", {}).items()):
+        for phase, rec in sorted(phases.items()):
+            if isinstance(rec, dict) and "wall_s" in rec:
+                yield f"workload:{wl}/{phase}", rec["wall_s"]
+    for kernel, rec in sorted(report.get("kernels", {}).items()):
+        if isinstance(rec, dict) and "wall_s" in rec:
+            yield f"kernel:{kernel}", rec["wall_s"]
+
+
+def checksums(report: dict) -> dict:
+    return {
+        wl: phases.get("checksum")
+        for wl, phases in sorted(report.get("workloads", {}).items())
+        if isinstance(phases, dict) and phases.get("checksum") is not None
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    baseline_path, current_path = argv
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        with open(current_path) as f:
+            current = json.load(f)
+    except OSError as exc:
+        print(f"error: cannot read report: {exc}")
+        return 2
+    tolerance = float(os.environ.get("PERF_TOLERANCE", DEFAULT_TOLERANCE))
+    abs_slack = float(os.environ.get("PERF_ABS_SLACK_S", DEFAULT_ABS_SLACK_S))
+
+    base_walls = dict(iter_wall_times(baseline))
+    failures = []
+    for label, wall in iter_wall_times(current):
+        base = base_walls.get(label)
+        if base is None:
+            print(f"  NEW   {label:40s} {wall:.4f}s (no baseline)")
+            continue
+        ratio = wall / base if base > 0 else float("inf")
+        status = "ok"
+        if wall > base * (1.0 + tolerance) + abs_slack:
+            status = "REGRESSION"
+            failures.append(
+                f"{label}: {base:.4f}s -> {wall:.4f}s "
+                f"(+{(ratio - 1) * 100:.0f}%, tolerance {tolerance * 100:.0f}%)"
+            )
+        print(f"  {status:10s} {label:40s} {base:.4f}s -> {wall:.4f}s ({ratio:.2f}x)")
+
+    base_sums = checksums(baseline)
+    for wl, summ in checksums(current).items():
+        expect = base_sums.get(wl)
+        if expect is not None and summ != expect:
+            failures.append(f"{wl}: determinism checksum changed (simulated results differ)")
+
+    if failures:
+        print("\nFAIL:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("\nOK: no wall-time regression beyond tolerance, checksums stable")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,246 @@
+"""Tracked performance harness: workloads end to end, plus hot kernels.
+
+Runs the three paper workloads (SOR, Barnes-Hut, Water-Spatial) at bench
+scale through three phases each — ``base`` (no profiling), ``r4``
+(correlation tracking at rate 1/4, including TCM construction) and
+``full`` (full sampling) — and the simulator's hot kernels, then writes
+``BENCH_perf.json``.  This file is the perf trajectory every later PR is
+measured against: ``make perf`` regenerates it and
+``benchmarks/check_regression.py`` fails the build when wall-time
+regresses against the committed baseline.
+
+Methodology: every wall-time is the best of ``--repeats`` runs (default
+3) with ``gc.collect()`` before each, so one-off allocator/GC noise does
+not pollute the trajectory.  Simulated outputs are summarized into
+determinism checksums (TCM digest, final thread clocks, protocol
+counters) so a perf change that silently alters simulation results is
+caught here too.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py [--output PATH]
+        [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np
+
+from common import PAPER_SCALE, workload_factories
+from repro.analysis import experiments as E
+from repro.core.sampling import SamplingPolicy
+from repro.core.tcm import build_tcm
+from repro.heap.heap import GlobalObjectSpace
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+
+N_THREADS = 8
+N_NODES = 8
+
+
+def best_of(fn, repeats: int) -> tuple[float, object]:
+    """Best wall time over ``repeats`` calls (gc-collected before each)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+            result = out
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# end-to-end workload phases
+# ---------------------------------------------------------------------------
+
+
+def measure_workloads(repeats: int) -> dict:
+    out: dict[str, dict] = {}
+    for name, factory in workload_factories(N_THREADS):
+        phases: dict[str, dict] = {}
+
+        def run_base():
+            return E.run_baseline(factory, n_nodes=N_NODES)
+
+        def run_rate(rate):
+            run = E.run_with_correlation(
+                factory, n_nodes=N_NODES, rate=rate, send_oals=True
+            )
+            tcm = run.suite.collector.tcm()
+            return run, tcm
+
+        wall, base = best_of(run_base, repeats)
+        phases["base"] = {
+            "wall_s": round(wall, 6),
+            "ops": base.result.ops_executed,
+            "ops_per_s": round(base.result.ops_executed / wall, 1),
+        }
+
+        wall, (run4, tcm4) = best_of(lambda: run_rate(4), repeats)
+        phases["r4"] = {
+            "wall_s": round(wall, 6),
+            "ops": run4.result.ops_executed,
+            "ops_per_s": round(run4.result.ops_executed / wall, 1),
+        }
+
+        wall, (runf, tcmf) = best_of(lambda: run_rate("full"), repeats)
+        phases["full"] = {
+            "wall_s": round(wall, 6),
+            "ops": runf.result.ops_executed,
+            "ops_per_s": round(runf.result.ops_executed / wall, 1),
+        }
+
+        # Determinism checksums: any hot-path change that alters the
+        # simulation (not just its speed) shows up here.
+        phases["checksum"] = {
+            "base_final_clocks_ms": {
+                str(k): v for k, v in sorted(base.result.thread_finish_ms.items())
+            },
+            "base_counters": dict(sorted(base.result.counters.items())),
+            "r4_tcm_sha256": hashlib.sha256(tcm4.tobytes()).hexdigest(),
+            "r4_logged": run4.suite.access_profiler.total_logged,
+            "full_tcm_sha256": hashlib.sha256(tcmf.tobytes()).hexdigest(),
+            "full_logged": runf.suite.access_profiler.total_logged,
+        }
+        out[name] = phases
+        print(
+            f"{name:14s} base {phases['base']['wall_s']:.4f}s  "
+            f"r4 {phases['r4']['wall_s']:.4f}s  "
+            f"full {phases['full']['wall_s']:.4f}s",
+            flush=True,
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# hot kernels (mirrors bench_kernels.py without the pytest-benchmark dep)
+# ---------------------------------------------------------------------------
+
+
+def kernel_tcm_build(repeats: int) -> dict:
+    rng = np.random.default_rng(0)
+    entries = [
+        (int(t), int(o), 64.0)
+        for t, o in zip(rng.integers(0, 16, 50_000), rng.integers(0, 4_000, 50_000))
+    ]
+    wall, tcm = best_of(lambda: build_tcm(entries, 16), repeats)
+    assert tcm.shape == (16, 16) and tcm.sum() > 0
+    return {"wall_s": round(wall, 6), "entries_per_s": round(len(entries) / wall, 1)}
+
+
+def kernel_sampling_decision(repeats: int) -> dict:
+    gos = GlobalObjectSpace()
+    cls = gos.registry.define("Obj", 96)
+    arr_cls = gos.registry.define("Arr", is_array=True, element_size=8)
+    objs = [gos.allocate(cls, 0) for _ in range(2_000)]
+    objs += [gos.allocate(arr_cls, 0, length=100) for _ in range(500)]
+    policy = SamplingPolicy()
+    policy.set_rate(cls, 4)
+    policy.set_rate(arr_cls, 4)
+    wall, count = best_of(
+        lambda: sum(1 for o in objs if policy.is_sampled(o)), repeats
+    )
+    assert 0 < count < len(objs)
+    return {"wall_s": round(wall, 6), "decisions_per_s": round(len(objs) / wall, 1)}
+
+
+def kernel_hlrc_access(repeats: int) -> dict:
+    n = 20_000
+    djvm = DJVM(n_nodes=1, costs=CostModel.fast_test())
+    cls = djvm.define_class("Obj", 64)
+    obj = djvm.allocate(cls, 0)
+    thread = djvm.spawn_thread(0)
+    djvm.hlrc.open_interval(thread)
+    access = djvm.hlrc.access
+    obj_id = obj.obj_id
+
+    def run():
+        for _ in range(n):
+            access(thread, obj_id)
+
+    wall, _ = best_of(run, repeats)
+    return {"wall_s": round(wall, 6), "accesses_per_s": round(n / wall, 1)}
+
+
+def kernel_interpreter_throughput(repeats: int) -> dict:
+    def run():
+        djvm = DJVM(n_nodes=1, costs=CostModel.fast_test())
+        cls = djvm.define_class("Obj", 64)
+        objs = [djvm.allocate(cls, 0) for _ in range(64)]
+        djvm.spawn_thread(0)
+        ops = [P.call("main", 2)]
+        for _ in range(50):
+            ops.extend(P.read(o.obj_id) for o in objs)
+        ops.append(P.ret())
+        return djvm.run({0: ops}).ops_executed
+
+    wall, ops = best_of(run, repeats)
+    assert ops == 50 * 64 + 2
+    return {"wall_s": round(wall, 6), "ops_per_s": round(ops / wall, 1)}
+
+
+def measure_kernels(repeats: int) -> dict:
+    kernels = {
+        "tcm_build_50k": kernel_tcm_build,
+        "sampling_decision_2500": kernel_sampling_decision,
+        "hlrc_access_20k": kernel_hlrc_access,
+        "interpreter_3202_ops": kernel_interpreter_throughput,
+    }
+    out = {}
+    for name, fn in kernels.items():
+        out[name] = fn(repeats)
+        print(f"kernel {name:24s} {out[name]['wall_s']:.4f}s", flush=True)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).parent.parent / "BENCH_perf.json"),
+        help="where to write the JSON report (default: repo-root BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="runs per measurement (best-of)"
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    report = {
+        "schema": "repro-perf/1",
+        "config": {
+            "n_threads": N_THREADS,
+            "n_nodes": N_NODES,
+            "repeats": args.repeats,
+            "paper_scale": PAPER_SCALE,
+            "python": sys.version.split()[0],
+        },
+        "workloads": measure_workloads(args.repeats),
+        "kernels": measure_kernels(args.repeats),
+    }
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,9 @@ for generating OALs) lands in ``cpu.oal_logging_ns`` /
 
 from __future__ import annotations
 
-from repro.core.oal import OALBatch
+from repro.core.oal import OALBatch, OALEntry
+
+_tuple_new = tuple.__new__
 from repro.core.sampling import SamplingPolicy
 from repro.dsm.intervals import IntervalRecord
 from repro.heap.objects import HeapObject
@@ -48,6 +50,12 @@ class AccessProfiler:
         self.policy = policy
         self.cluster = cluster
         self.costs = cluster.costs
+        # Hot-path aliases (the cost model is frozen; the policy's state
+        # containers are mutated in place, never replaced).
+        self._gap_table = policy.gap_table
+        self._policy_states = policy._states
+        self._log_ns_fault = self.costs.oal_log_ns
+        self._log_ns_trap = self.costs.gos_trap_ns + self.costs.oal_log_ns
         #: destination daemon; anything with a ``deliver(OALBatch)`` method.
         self.collector = collector
         #: when False, OALs are generated and costed but never sent (the
@@ -55,8 +63,9 @@ class AccessProfiler:
         self.send_oals = send_oals
         self.piggyback = piggyback
         self.enabled = enabled
-        #: thread_id -> {obj_id: (scaled_bytes, class_id)} for the open interval.
-        self._current: dict[int, dict[int, tuple[int, int]]] = {}
+        #: thread_id -> {obj_id: OALEntry} for the open interval (entries
+        #: are built at log time so interval close ships them verbatim).
+        self._current: dict[int, dict[int, OALEntry]] = {}
         #: thread_id -> object ids logged in the *previous* interval
         #: (these are the ones reset to false-invalid at open).
         self._previous: dict[int, set[int]] = {}
@@ -127,23 +136,49 @@ class AccessProfiler:
         real_fault: bool,
     ) -> None:
         """ProtocolHooks: one access op executed (see class docstring)."""
+        self.fast_on_access(thread, obj, real_fault)
+
+    def fast_on_access(self, thread, obj: HeapObject, real_fault: bool) -> None:
+        """Positional form of :meth:`on_access` (the sampled-logging
+        decision depends only on the object and whether the access
+        really faulted); the protocol's single-hook fast dispatch calls
+        this directly."""
         if not self.enabled:
             return
         oal = self._current.get(thread.thread_id)
         if oal is None:
             return
-        if obj.obj_id in oal:
+        obj_id = obj.obj_id
+        if obj_id in oal:
             return  # at-most-once per interval: fast path, zero extra cost
-        policy = self.policy
-        if not policy.is_sampled(obj):
-            return
+        jclass = obj.jclass
+        class_id = jclass.class_id
+        if self._gap_table.get(class_id, 1) == 1:
+            # Fully-sampled class (the precomputed gap table answers this
+            # without touching per-object state): every object is logged
+            # and the Horvitz-Thompson scale factor is 1.
+            scaled = obj.length * jclass.element_size if obj.is_array else jclass.instance_size
+        else:
+            # One memoized lookup answers sampled/logged/scaled together
+            # (epoch-cached; see SamplingPolicy.decision).  Probe the
+            # per-class memo inline; fall back to decision() on a miss
+            # or a stale cache.
+            st = self._policy_states[class_id]
+            dec = st.decisions.get(obj_id) if st.cache_epoch == st.epoch else None
+            if dec is None:
+                dec = self.policy.decision(obj)
+            sampled, _logged, scaled = dec
+            if not sampled:
+                return
         # Trap into the GOS service routine.  A real fault already paid
         # the trap on the coherence path; false-invalid pays it here.
-        costs = self.costs
-        ns = costs.oal_log_ns if real_fault else costs.gos_trap_ns + costs.oal_log_ns
+        ns = self._log_ns_fault if real_fault else self._log_ns_trap
         thread.cpu.oal_logging_ns += ns
-        thread.clock.advance(ns)
-        oal[obj.obj_id] = (policy.scaled_bytes(obj), obj.jclass.class_id)
+        thread.clock._now_ns += ns
+        # tuple.__new__ skips the generated NamedTuple __new__ (a
+        # Python-level function); this is the hottest allocation in a
+        # fully-sampled run.
+        oal[obj_id] = _tuple_new(OALEntry, (obj_id, scaled, class_id))
         self.total_logged += 1
 
     def on_interval_close(
@@ -165,8 +200,7 @@ class AccessProfiler:
             start_pc=interval.start_pc,
             end_pc=interval.end_pc,
         )
-        for obj_id, (scaled, class_id) in oal.items():
-            batch.add(obj_id, scaled, class_id)
+        batch.entries.extend(oal.values())
         # Pack the jumbo message.
         pack_ns = len(batch) * self.costs.oal_pack_ns_per_entry
         thread.cpu.oal_packing_ns += pack_ns

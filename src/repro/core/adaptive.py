@@ -183,6 +183,10 @@ class AdaptiveRateController:
         self._prev_tcm: np.ndarray | None = None
         self._settled_tcm: np.ndarray | None = None
         self.decisions: list[RateDecision] = []
+        #: rate last applied by the driving ProfilerSuite (None until the
+        #: first application); the suite compares against this instead of
+        #: stashing state on a closure.
+        self.applied_rate: float | None = None
 
     @property
     def rate(self) -> float:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.oal import OALBatch
-from repro.core.tcm import accrual_pair_count, tcm_by_class, tcm_from_batches
+from repro.core.tcm import window_accrual
 from repro.heap.heap import GlobalObjectSpace
 from repro.sim.cluster import Cluster
 
@@ -70,21 +70,23 @@ class CorrelationCollector:
         window's own TCM.  Charges the modelled daemon cost."""
         batches = self._pending
         self._pending = []
-        n_entries = sum(len(b) for b in batches)
-        pairs = accrual_pair_count(batches)
+        # One traversal computes the window TCM, the naive-daemon pair
+        # count, and (when tracked) per-class maps together.
+        acc = window_accrual(batches, self.n_threads, per_class=self.track_per_class)
         cost = (
-            n_entries * self.costs.tcm_reorg_ns_per_entry
-            + pairs * self.costs.tcm_accrue_ns_per_pair
+            acc.n_entries * self.costs.tcm_reorg_ns_per_entry
+            + acc.pair_count * self.costs.tcm_accrue_ns_per_pair
         )
         self.tcm_compute_ns += cost
         self.cluster.master.cpu.extra["tcm_compute_ns"] = (
             self.cluster.master.cpu.extra.get("tcm_compute_ns", 0) + cost
         )
-        window = tcm_from_batches(batches, self.n_threads)
+        window = acc.tcm
+        # Incremental accrual: the running TCM is updated in place.
         self._accrued += window
         self.window_tcms.append(window)
         if self.track_per_class:
-            self.window_class_tcms.append(tcm_by_class(batches, self.n_threads))
+            self.window_class_tcms.append(acc.class_tcms)
         return window
 
     def tcm(self) -> np.ndarray:

@@ -10,6 +10,7 @@ object per interval regardless of how often the object was accessed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 #: wire bytes per OAL entry (object id + logged size).
 ENTRY_WIRE_BYTES = 8
@@ -17,9 +18,13 @@ ENTRY_WIRE_BYTES = 8
 BATCH_HEADER_BYTES = 16
 
 
-@dataclass(frozen=True)
-class OALEntry:
-    """One logged object access."""
+class OALEntry(NamedTuple):
+    """One logged object access.
+
+    A named tuple rather than a dataclass: profiled runs create one per
+    logged (object, interval) pair, and tuple construction is the
+    cheapest immutable record CPython offers.
+    """
 
     obj_id: int
     #: logged bytes, already gap-scaled (Horvitz-Thompson weight applied).

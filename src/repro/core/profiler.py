@@ -119,9 +119,12 @@ class ProfilerSuite:
         def process_and_control():
             window = original()
             new_rate = controller.observe(window)
-            if new_rate != getattr(process_and_control, "_rate", None):
+            # The controller itself remembers what the suite last applied
+            # (mirroring how attach_per_class_controller keeps state in
+            # the per-class controllers).
+            if new_rate != controller.applied_rate:
                 suite.set_rate_all(new_rate)
-                process_and_control._rate = new_rate
+                controller.applied_rate = new_rate
             return window
 
         self.collector.process_window = process_and_control  # type: ignore[method-assign]

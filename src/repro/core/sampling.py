@@ -44,6 +44,12 @@ class ClassSamplingState:
     #: lower bound on the gap (used by sticky-set footprinting).
     min_gap: int = 1
     history: list[int] = field(default_factory=list)
+    #: epoch the memoized decisions below were computed under; any
+    #: mismatch with ``epoch`` invalidates the whole cache.
+    cache_epoch: int = -1
+    #: obj_id -> (sampled, logged_bytes, scaled_bytes) memo, valid only
+    #: while ``cache_epoch == epoch``.
+    decisions: dict[int, tuple[bool, int, int]] = field(default_factory=dict)
 
     def set_nominal(self, nominal: int) -> bool:
         """Set a new nominal gap; returns True if the real gap changed."""
@@ -70,6 +76,9 @@ class SamplingPolicy:
         self._states: dict[int, ClassSamplingState] = {}
         #: total gap-change events (each triggers cluster-wide resampling).
         self.rate_changes = 0
+        #: class_id -> current real gap; a precomputed table the hot
+        #: profiling path reads instead of re-deriving gaps per access.
+        self.gap_table: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # configuration
@@ -81,6 +90,7 @@ class SamplingPolicy:
         if st is None:
             st = ClassSamplingState(jclass=jclass)
             self._states[jclass.class_id] = st
+            self.gap_table[jclass.class_id] = st.real_gap
         return st
 
     def gap(self, jclass: JClass) -> int:
@@ -109,21 +119,23 @@ class SamplingPolicy:
 
     def set_nominal_gap(self, jclass: JClass, nominal: int) -> bool:
         """Set a nominal gap directly; returns True if the real gap changed."""
-        st = self.state(jclass)
-        if not self.use_prime_gaps:
-            # Ablation mode: take the nominal gap as-is.
-            nominal = max(nominal, st.min_gap)
-            changed = nominal != st.real_gap
-            st.nominal_gap = nominal
-            if changed:
-                st.real_gap = nominal
-                st.epoch += 1
-                st.history.append(nominal)
-            if changed:
-                self.rate_changes += 1
-            return changed
-        changed = st.set_nominal(nominal)
+        return self._realize_gap(self.state(jclass), nominal)
+
+    def _realize_gap(self, st: ClassSamplingState, nominal: int) -> bool:
+        """Clamp ``nominal`` to the class's min gap and realize it — the
+        nearest prime normally, the nominal itself in the prime-gap
+        ablation — updating epoch, history, the gap table, and the
+        policy-wide change counter on an actual change."""
+        check_positive(nominal, "nominal gap")
+        nominal = max(nominal, st.min_gap)
+        real = prime_gap_for_nominal(nominal) if self.use_prime_gaps else nominal
+        changed = real != st.real_gap
+        st.nominal_gap = nominal
         if changed:
+            st.real_gap = real
+            st.epoch += 1
+            st.history.append(real)
+            self.gap_table[st.jclass.class_id] = real
             self.rate_changes += 1
         return changed
 
@@ -148,30 +160,57 @@ class SamplingPolicy:
     # sampling decisions
     # ------------------------------------------------------------------
 
+    def decision(self, obj: HeapObject) -> tuple[bool, int, int]:
+        """The full sampling decision for one object:
+        ``(sampled, logged_bytes, scaled_bytes)``.
+
+        Decisions are pure functions of the object's immutable identity
+        (class, seq, length) and the class's current gap, so they are
+        memoized per class and keyed by the gap *epoch*: any gap change
+        bumps :attr:`ClassSamplingState.epoch`, which invalidates the
+        whole class cache on the next lookup.  Between rate changes the
+        hot profiling path therefore pays one dict probe per object.
+        """
+        st = self._states.get(obj.jclass.class_id)
+        if st is None:
+            st = self.state(obj.jclass)
+        if st.cache_epoch != st.epoch:
+            st.decisions.clear()
+            st.cache_epoch = st.epoch
+        cached = st.decisions.get(obj.obj_id)
+        if cached is not None:
+            return cached
+        gap = st.real_gap
+        if obj.is_array:
+            if gap == 1:
+                sampled = True
+            else:
+                sampled = sampled_element_count(obj.seq, obj.length, gap) > 0
+            logged = amortized_sample_bytes(obj, gap)
+        else:
+            sampled = True if gap == 1 else obj.seq % gap == 0
+            logged = obj.jclass.instance_size
+        result = (sampled, logged, logged * gap)
+        st.decisions[obj.obj_id] = result
+        return result
+
     def is_sampled(self, obj: HeapObject) -> bool:
         """Is this object currently sampled?
 
         Scalars: sequence number divisible by the class gap.  Arrays:
         at least one element logically sampled (Fig. 3b).
         """
-        gap = self.gap(obj.jclass)
-        if gap == 1:
-            return True
-        if obj.is_array:
-            return sampled_element_count(obj.seq, obj.length, gap) > 0
-        return obj.seq % gap == 0
+        return self.decision(obj)[0]
 
     def logged_bytes(self, obj: HeapObject) -> int:
         """Bytes recorded in the OAL for one sampled object: the full
         instance size for scalars, the amortized sample size for arrays."""
-        if obj.is_array:
-            return amortized_sample_bytes(obj, self.gap(obj.jclass))
-        return obj.jclass.instance_size
+        return self.decision(obj)[1]
 
     def scaled_bytes(self, obj: HeapObject) -> int:
         """Horvitz-Thompson estimate this sample contributes: logged
         bytes times the gap (each sample stands for ``gap`` units)."""
-        return self.logged_bytes(obj) * self.gap(obj.jclass)
+        return self.decision(obj)[2]
 
     def effective_rate(self, jclass: JClass) -> float:
         """Realized samples-per-page for a class under its current gap."""

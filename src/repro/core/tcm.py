@@ -15,11 +15,93 @@ Python triple loop.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from itertools import chain
 from typing import Iterable
 
 import numpy as np
 
 from repro.core.oal import OALBatch
+
+
+def _tcm_from_arrays(
+    tids: np.ndarray,
+    oids: np.ndarray,
+    sizes: np.ndarray,
+    n_threads: int,
+    include_diagonal: bool,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Vectorized TCM core over parallel entry arrays.
+
+    Returns ``(tcm, rows, n_objects)`` where ``rows`` maps each entry to
+    its dense object row in first-occurrence order (the order the old
+    dict-of-pairs pass produced, kept so the accrual matmul sums rows in
+    the identical sequence).
+    """
+    tcm = np.zeros((n_threads, n_threads), dtype=np.float64)
+    if tids.size == 0:
+        return tcm, tids, 0
+    bad = (tids < 0) | (tids >= n_threads)
+    if bad.any():
+        tid = int(tids[int(np.argmax(bad))])
+        raise ValueError(f"thread id {tid} out of range 0..{n_threads - 1}")
+    uniq, first_idx, inv = np.unique(oids, return_index=True, return_inverse=True)
+    n_objects = int(uniq.size)
+    # np.unique sorts by object id; re-rank rows by first occurrence.
+    rank = np.empty(n_objects, dtype=np.int64)
+    rank[np.argsort(first_idx, kind="stable")] = np.arange(n_objects)
+    rows = rank[inv]
+    bytes_mat = np.zeros((n_objects, n_threads), dtype=np.float64)
+    np.maximum.at(bytes_mat, (rows, tids), sizes)
+    # An object's size is logged identically by every accessor (the
+    # amortized sample size is a property of the object, not the thread),
+    # so take the row-wise max as the object's byte weight.
+    obj_sizes = bytes_mat.max(axis=1)
+    indicator = (bytes_mat > 0).astype(np.float64)
+    tcm = (indicator * obj_sizes[:, None]).T @ indicator
+    if not include_diagonal:
+        np.fill_diagonal(tcm, 0.0)
+    return tcm, rows, n_objects
+
+
+def _entry_arrays(
+    entries: Iterable[tuple[int, int, float]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode (thread_id, object_id, bytes) tuples into parallel arrays
+    with a single buffered pass (no per-entry Python bookkeeping)."""
+    flat = np.fromiter(chain.from_iterable(entries), dtype=np.float64)
+    if flat.size % 3:
+        raise ValueError("entries must be (thread_id, object_id, bytes) triples")
+    arr = flat.reshape(-1, 3)
+    return (
+        arr[:, 0].astype(np.int64),
+        arr[:, 1].astype(np.int64),
+        arr[:, 2],
+    )
+
+
+def _batch_arrays(
+    batches: Iterable[OALBatch],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Decode OAL batches into parallel (tids, oids, sizes, class_ids)
+    arrays with a single buffered pass over all entries."""
+    def gen():
+        for batch in batches:
+            tid = batch.thread_id
+            for entry in batch.entries:
+                yield tid
+                yield entry.obj_id
+                yield entry.scaled_bytes
+                yield entry.class_id
+
+    flat = np.fromiter(gen(), dtype=np.float64)
+    arr = flat.reshape(-1, 4)
+    return (
+        arr[:, 0].astype(np.int64),
+        arr[:, 1].astype(np.int64),
+        arr[:, 2],
+        arr[:, 3].astype(np.int64),
+    )
 
 
 def build_tcm(
@@ -38,32 +120,8 @@ def build_tcm(
     """
     if n_threads < 1:
         raise ValueError(f"need at least one thread, got {n_threads}")
-    per_pair: dict[tuple[int, int], float] = {}
-    obj_index: dict[int, int] = {}
-    for tid, oid, size in entries:
-        if not 0 <= tid < n_threads:
-            raise ValueError(f"thread id {tid} out of range 0..{n_threads - 1}")
-        if oid not in obj_index:
-            obj_index[oid] = len(obj_index)
-        key = (obj_index[oid], tid)
-        prev = per_pair.get(key)
-        if prev is None or size > prev:
-            per_pair[key] = float(size)
-    n_objects = len(obj_index)
-    tcm = np.zeros((n_threads, n_threads), dtype=np.float64)
-    if n_objects == 0:
-        return tcm
-    bytes_mat = np.zeros((n_objects, n_threads), dtype=np.float64)
-    for (row, tid), size in per_pair.items():
-        bytes_mat[row, tid] = size
-    # An object's size is logged identically by every accessor (the
-    # amortized sample size is a property of the object, not the thread),
-    # so take the row-wise max as the object's byte weight.
-    sizes = bytes_mat.max(axis=1)
-    indicator = (bytes_mat > 0).astype(np.float64)
-    tcm = (indicator * sizes[:, None]).T @ indicator
-    if not include_diagonal:
-        np.fill_diagonal(tcm, 0.0)
+    tids, oids, sizes = _entry_arrays(entries)
+    tcm, _rows, _n = _tcm_from_arrays(tids, oids, sizes, n_threads, include_diagonal)
     return tcm
 
 
@@ -74,12 +132,33 @@ def tcm_from_batches(
     include_diagonal: bool = False,
 ) -> np.ndarray:
     """Build a TCM from collected OAL batches (one processing window)."""
-    def gen():
-        for batch in batches:
-            for entry in batch.entries:
-                yield batch.thread_id, entry.obj_id, entry.scaled_bytes
+    if n_threads < 1:
+        raise ValueError(f"need at least one thread, got {n_threads}")
+    tids, oids, sizes, _cids = _batch_arrays(batches)
+    tcm, _rows, _n = _tcm_from_arrays(tids, oids, sizes, n_threads, include_diagonal)
+    return tcm
 
-    return build_tcm(gen(), n_threads, include_diagonal=include_diagonal)
+
+def _per_class_tcms(
+    tids: np.ndarray,
+    oids: np.ndarray,
+    sizes: np.ndarray,
+    cids: np.ndarray,
+    n_threads: int,
+    include_diagonal: bool,
+) -> dict[int, np.ndarray]:
+    """Per-class TCMs keyed in first-appearance order of the class ids."""
+    by_class: dict[int, np.ndarray] = {}
+    if cids.size == 0:
+        return by_class
+    uniq, first_idx = np.unique(cids, return_index=True)
+    for cid in uniq[np.argsort(first_idx, kind="stable")]:
+        mask = cids == cid
+        tcm, _rows, _n = _tcm_from_arrays(
+            tids[mask], oids[mask], sizes[mask], n_threads, include_diagonal
+        )
+        by_class[int(cid)] = tcm
+    return by_class
 
 
 def tcm_by_class(
@@ -91,16 +170,8 @@ def tcm_by_class(
     """Per-class TCMs from one window's batches: class_id -> map built
     from only that class's entries.  The full map is their sum; per-class
     maps are what per-class rate adaptation compares across windows."""
-    by_class: dict[int, list[tuple[int, int, float]]] = {}
-    for batch in batches:
-        for entry in batch.entries:
-            by_class.setdefault(entry.class_id, []).append(
-                (batch.thread_id, entry.obj_id, entry.scaled_bytes)
-            )
-    return {
-        cid: build_tcm(entries, n_threads, include_diagonal=include_diagonal)
-        for cid, entries in by_class.items()
-    }
+    tids, oids, sizes, cids = _batch_arrays(batches)
+    return _per_class_tcms(tids, oids, sizes, cids, n_threads, include_diagonal)
 
 
 def accrual_pair_count(batches: Iterable[OALBatch]) -> int:
@@ -112,6 +183,63 @@ def accrual_pair_count(batches: Iterable[OALBatch]) -> int:
         for entry in batch.entries:
             threads_per_obj.setdefault(entry.obj_id, set()).add(batch.thread_id)
     return sum(len(ts) * len(ts) for ts in threads_per_obj.values())
+
+
+@dataclass
+class WindowAccrual:
+    """Everything the collector needs from one processing window,
+    computed in a single traversal of the window's batches."""
+
+    #: the window's TCM.
+    tcm: np.ndarray
+    #: naive-daemon accrual steps (drives the O3 cost model).
+    pair_count: int
+    #: OAL entries in the window (drives the reorganization cost).
+    n_entries: int
+    #: class_id -> per-class TCM (only when requested).
+    class_tcms: dict[int, np.ndarray] | None = None
+
+
+def window_accrual(
+    batches: Iterable[OALBatch],
+    n_threads: int,
+    *,
+    per_class: bool = False,
+    include_diagonal: bool = False,
+) -> WindowAccrual:
+    """Fold one window's batches into TCM + accrual statistics at once.
+
+    Replaces the collector's separate ``accrual_pair_count`` +
+    ``tcm_from_batches`` (+ optional ``tcm_by_class``) traversals with
+    one decode pass and shared index arrays.
+    """
+    if n_threads < 1:
+        raise ValueError(f"need at least one thread, got {n_threads}")
+    if not isinstance(batches, (list, tuple)):
+        batches = list(batches)
+    tids, oids, sizes, cids = _batch_arrays(batches)
+    tcm, rows, n_objects = _tcm_from_arrays(
+        tids, oids, sizes, n_threads, include_diagonal
+    )
+    if n_objects == 0:
+        pair_count = 0
+    else:
+        # Distinct (object, thread) pairs, bucketed per object: the
+        # naive daemon accrues |threads(obj)|^2 steps per object.
+        pair_keys = np.unique(rows * np.int64(n_threads) + tids)
+        per_obj = np.bincount(pair_keys // n_threads, minlength=n_objects)
+        pair_count = int((per_obj.astype(np.int64) ** 2).sum())
+    class_tcms = (
+        _per_class_tcms(tids, oids, sizes, cids, n_threads, include_diagonal)
+        if per_class
+        else None
+    )
+    return WindowAccrual(
+        tcm=tcm,
+        pair_count=pair_count,
+        n_entries=int(tids.size),
+        class_tcms=class_tcms,
+    )
 
 
 def normalize_tcm(tcm: np.ndarray) -> np.ndarray:

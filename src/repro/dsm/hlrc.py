@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
-from repro.dsm.intervals import IntervalRecord
+from repro.dsm.intervals import AccessSummary, IntervalRecord
 from repro.dsm.states import CopyRecord, RealState
 from repro.dsm.sync import SyncRegistry
 from repro.heap.heap import GlobalObjectSpace, LocalHeap
@@ -69,6 +69,11 @@ class ProtocolHooks(Protocol):
         ...
 
 
+#: coherence states hoisted to module level for the access fast path.
+_HOME = RealState.HOME
+_VALID = RealState.VALID
+_INVALID = RealState.INVALID
+
 #: request/reply/control message payload sizes (bytes).
 FETCH_REQ_BYTES = 16
 FETCH_REPLY_OVERHEAD = 16
@@ -98,11 +103,21 @@ class HomeBasedLRC:
             heap = LocalHeap(node.node_id)
             node.heap = heap
             self.heaps[node.node_id] = heap
+        # Hot-path aliases (the cost model is frozen and the heap/GOS
+        # containers are mutated in place, never replaced).
+        self._objects = gos._objects
+        self._copies_by_node = {nid: heap.copies for nid, heap in self.heaps.items()}
+        self._access_busy_ns = self.costs.state_check_ns + self.costs.access_ns
         #: global write-notice log: list of (obj_id, version).
         self.notices: list[tuple[int, int]] = []
         #: per-node index of the first unseen notice.
         self._notice_seen: dict[int, int] = {n.node_id: 0 for n in cluster.nodes}
         self.hooks: list[ProtocolHooks] = []
+        # Single-hook fast dispatch: when exactly one hook is attached
+        # and it exposes ``fast_on_access`` (positional form), accesses
+        # call it directly instead of the keyword fan-out.
+        self._fast_src: ProtocolHooks | None = None
+        self._fast_log = None
         #: optional connectivity prefetcher consulted at fault time
         #: (anything with ``bundle_for(thread, obj) -> list[HeapObject]``).
         self.prefetcher = None
@@ -126,22 +141,29 @@ class HomeBasedLRC:
         """Make the object's copy on the thread's node accessible;
         returns (record, faulted)."""
         node_id = thread.node_id
-        heap = self.heaps[node_id]
-        record: CopyRecord | None = heap.get(obj.obj_id)  # type: ignore[assignment]
+        record: CopyRecord | None = self.heaps[node_id].copies.get(obj.obj_id)
         if record is not None and record.real_state is not RealState.INVALID:
             return record, False
         if obj.home_node == node_id:
             # Home copies materialize lazily and are always current.
             if record is None:
                 record = CopyRecord(obj.obj_id, RealState.HOME)
-                heap.put(obj.obj_id, record)
+                self.heaps[node_id].copies[obj.obj_id] = record
                 return record, False
             # A home copy can never be INVALID.
             return record, False
-        # Remote fault: trap + request/reply round trip to the home.
+        return self._fault_remote(thread, obj, record), True
+
+    def _fault_remote(self, thread, obj: HeapObject, record: CopyRecord | None) -> CopyRecord:
+        """Fault a remotely-homed object in: trap + request/reply round
+        trip to the home (optionally bundling prefetched objects)."""
+        node_id = thread.node_id
+        heap = self.heaps[node_id]
         costs = self.costs
-        thread.cpu.protocol_ns += costs.gos_trap_ns
-        thread.clock.advance(costs.gos_trap_ns)
+        clock = thread.clock
+        cpu = thread.cpu
+        cpu.protocol_ns += costs.gos_trap_ns
+        clock._now_ns += costs.gos_trap_ns
 
         # Connectivity prefetching (inter-object affinity): bundle
         # hot-path successors homed at the same node into the reply —
@@ -156,24 +178,24 @@ class HomeBasedLRC:
                     continue
                 bundle.append(extra)
 
-        now = thread.clock.now_ns
+        now = clock._now_ns
         reply_bytes = obj.size_bytes + FETCH_REPLY_OVERHEAD
-        reply_bytes += sum(o.size_bytes + FETCH_REPLY_OVERHEAD for o in bundle)
-        wait = self.network.send(
-            MessageKind.OBJECT_FETCH_REQ, node_id, obj.home_node, FETCH_REQ_BYTES, now
-        )
-        wait += self.network.send(
+        if bundle:
+            reply_bytes += sum(o.size_bytes + FETCH_REPLY_OVERHEAD for o in bundle)
+        send = self.network.send
+        wait = send(MessageKind.OBJECT_FETCH_REQ, node_id, obj.home_node, FETCH_REQ_BYTES, now)
+        wait += send(
             MessageKind.OBJECT_FETCH_DATA,
             obj.home_node,
             node_id,
             reply_bytes,
             now + wait,
         )
-        thread.cpu.network_wait_ns += wait
-        thread.clock.advance(wait)
+        cpu.network_wait_ns += wait
+        clock._now_ns += wait
         if record is None:
             record = CopyRecord(obj.obj_id, RealState.VALID, fetched_version=obj.home_version)
-            heap.put(obj.obj_id, record)
+            heap.copies[obj.obj_id] = record
         else:
             record.real_state = RealState.VALID
             record.fetched_version = obj.home_version
@@ -190,7 +212,7 @@ class HomeBasedLRC:
                 existing.real_state = RealState.VALID
                 existing.fetched_version = extra.home_version
         self.counters["faults"] += 1
-        return record, True
+        return record
 
     # ------------------------------------------------------------------
     # access fast path
@@ -200,40 +222,102 @@ class HomeBasedLRC:
         self,
         thread,
         obj_id: int,
-        *,
-        is_write: bool,
+        is_write: bool = False,
         n_elems: int = 1,
         repeat: int = 1,
         elem_off: int = 0,
     ) -> None:
         """Execute ``repeat`` accesses touching ``n_elems`` distinct
-        elements of one object (the interpreter's READ/WRITE op)."""
-        obj = self.gos.get(obj_id)
-        costs = self.costs
+        elements of one object (the interpreter's READ/WRITE op).
+
+        This is the protocol's per-op fast path: the common valid-copy /
+        home-copy case resolves with one dict probe on the node's local
+        heap (no wrapper calls, no fault machinery), the interval touch
+        is inlined, and hook fan-out is skipped when no profiler is
+        attached.
+        """
+        clock = thread.clock
+        cpu = thread.cpu
         # JIT-inlined state check + the access itself, paid per access.
-        busy = (costs.state_check_ns + costs.access_ns) * repeat
-        thread.cpu.access_ns += busy
-        thread.clock.advance(busy)
+        busy = self._access_busy_ns * repeat
+        cpu.access_ns += busy
+        clock._now_ns += busy
 
-        record, faulted = self._ensure_copy(thread, obj)
+        node_id = thread.node_id
+        copies = self._copies_by_node[node_id]
+        record: CopyRecord | None = copies.get(obj_id)
+        if record is not None and record.real_state is not _INVALID:
+            faulted = False  # valid cache copy or home copy: no coherence work
+            obj = None  # resolved lazily; a plain hit never needs it
+        else:
+            obj = self._objects[obj_id]
+            if obj.home_node == node_id:
+                # Home copies materialize lazily and are always current
+                # (a home copy can never be INVALID).
+                if record is None:
+                    record = CopyRecord(obj_id, _HOME)
+                    copies[obj_id] = record
+                faulted = False
+            else:
+                record = self._fault_remote(thread, obj, record)
+                faulted = True
 
-        if is_write and not record.is_home:
+        if is_write and record.real_state is not _HOME:
+            if obj is None:
+                obj = self._objects[obj_id]
             if not record.has_twin:
-                twin_ns = obj.size_bytes * costs.twin_ns_per_byte
+                twin_ns = obj.size_bytes * self.costs.twin_ns_per_byte
                 record.has_twin = True
-                thread.cpu.protocol_ns += twin_ns
-                thread.clock.advance(twin_ns)
-            elem = obj.jclass.element_size if obj.is_array else 0
-            written = n_elems * elem if obj.is_array else obj.jclass.instance_size
+                cpu.protocol_ns += twin_ns
+                clock._now_ns += twin_ns
+            if obj.is_array:
+                written = n_elems * obj.jclass.element_size
+            else:
+                written = obj.jclass.instance_size
             record.dirty_bytes = min(record.dirty_bytes + written, obj.size_bytes)
             record.writers.add(thread.thread_id)
 
+        # Inlined IntervalRecord.touch (one access-summary upsert per op).
+        now = clock._now_ns
         interval: IntervalRecord = thread.current_interval
-        interval.touch(
-            obj_id, is_write=is_write, count=repeat, now_ns=thread.clock.now_ns
-        )
+        summary = interval.accesses.get(obj_id)
+        if summary is None:
+            first_touch = True
+            summary = AccessSummary(obj_id, 0, 0, now, now)
+            interval.accesses[obj_id] = summary
+        else:
+            first_touch = False
+        if is_write:
+            summary.writes += repeat
+            interval.written.add(obj_id)
+        else:
+            summary.reads += repeat
+        summary.last_ns = now
 
-        for hook in self.hooks:
+        hooks = self.hooks
+        if not hooks:
+            return
+        if len(hooks) == 1:
+            hook = hooks[0]
+            if hook is self._fast_src:
+                fast = self._fast_log
+            else:
+                self._fast_src = hook
+                fast = self._fast_log = getattr(hook, "fast_on_access", None)
+            if fast is not None:
+                # Only the first touch of an object in an interval can
+                # trap (the false-invalid tag is cancelled by that first
+                # access; later accesses run the inlined fast path
+                # untouched), so the profiler hook fires once per
+                # (interval, object).
+                if first_touch:
+                    if obj is None:
+                        obj = self._objects[obj_id]
+                    fast(thread, obj, faulted)
+                return
+        if obj is None:
+            obj = self._objects[obj_id]
+        for hook in hooks:
             hook.on_access(
                 thread,
                 obj,
@@ -251,14 +335,15 @@ class HomeBasedLRC:
     def open_interval(self, thread) -> None:
         """Begin a new interval for ``thread``."""
         costs = self.costs
+        clock = thread.clock
         thread.cpu.protocol_ns += costs.interval_open_ns
-        thread.clock.advance(costs.interval_open_ns)
+        clock._now_ns += costs.interval_open_ns
         thread.interval_counter += 1
         thread.current_interval = IntervalRecord(
             thread_id=thread.thread_id,
             interval_id=thread.interval_counter,
             start_pc=thread.pc,
-            start_ns=thread.clock.now_ns,
+            start_ns=clock._now_ns,
         )
         for hook in self.hooks:
             hook.on_interval_open(thread)
@@ -271,44 +356,49 @@ class HomeBasedLRC:
         interval.end_pc = thread.pc
         interval.close_reason = reason
 
-        heap = self.heaps[thread.node_id]
+        copies = self._copies_by_node[thread.node_id]
+        objects = self._objects
+        clock = thread.clock
+        cpu = thread.cpu
+        notices = self.notices
+        counters = self.counters
         # Flush diffs for cache copies this thread wrote.
         for obj_id in interval.written:
-            record: CopyRecord | None = heap.get(obj_id)  # type: ignore[assignment]
-            obj = self.gos.get(obj_id)
+            record: CopyRecord | None = copies.get(obj_id)
+            obj = objects[obj_id]
             if record is None:
                 continue
-            if record.is_home:
+            if record.real_state is _HOME:
                 obj.home_version += 1
-                self.notices.append((obj_id, obj.home_version))
-                self.counters["notices"] += 1
+                notices.append((obj_id, obj.home_version))
+                counters["notices"] += 1
                 continue
             if thread.thread_id not in record.writers:
                 continue
             dirty = max(record.dirty_bytes, 1)
             diff_ns = dirty * costs.diff_ns_per_byte
-            thread.cpu.protocol_ns += diff_ns
-            thread.clock.advance(diff_ns)
+            cpu.protocol_ns += diff_ns
+            clock._now_ns += diff_ns
             wait = self.network.send(
                 MessageKind.DIFF,
                 thread.node_id,
                 obj.home_node,
                 dirty + DIFF_OVERHEAD,
-                thread.clock.now_ns,
+                clock._now_ns,
             )
-            thread.cpu.network_wait_ns += wait
-            thread.clock.advance(wait)
+            cpu.network_wait_ns += wait
+            clock._now_ns += wait
             obj.home_version += 1
             # The writer's copy now reflects the applied diff.
             record.fetched_version = obj.home_version
             record.clear_interval_state()
-            self.notices.append((obj_id, obj.home_version))
-            self.counters["diffs"] += 1
-            self.counters["notices"] += 1
+            notices.append((obj_id, obj.home_version))
+            counters["diffs"] += 1
+            counters["notices"] += 1
 
-        thread.cpu.protocol_ns += costs.interval_close_ns
-        thread.clock.advance(costs.interval_close_ns)
-        interval.end_ns = thread.clock.now_ns
+        cpu.protocol_ns += costs.interval_close_ns
+        clock._now_ns += costs.interval_close_ns
+        interval.end_ns = clock._now_ns
         self.counters["intervals"] += 1
 
         for hook in self.hooks:
@@ -331,20 +421,32 @@ class HomeBasedLRC:
         if not new:
             return 0
         self._notice_seen[node_id] = len(self.notices)
-        heap = self.heaps[node_id]
-        costs = self.costs
+        copies = self._copies_by_node[node_id]
         invalidated = 0
-        for obj_id, version in new:
-            record: CopyRecord | None = heap.get(obj_id)  # type: ignore[assignment]
-            if record is None or record.is_home:
-                continue
-            if record.real_state is RealState.VALID and record.fetched_version < version:
-                record.invalidate()
-                invalidated += 1
+        if len(copies) < len(new):
+            # Few copies, many notices: invert the scan.  Notices are
+            # append-ordered, so dict() keeps each object's newest
+            # version, and invalidating against the newest version flips
+            # exactly the copies the notice-ordered walk would.
+            latest = dict(new)
+            for obj_id, record in copies.items():
+                if record.real_state is _VALID:
+                    version = latest.get(obj_id)
+                    if version is not None and record.fetched_version < version:
+                        record.real_state = _INVALID
+                        invalidated += 1
+        else:
+            for obj_id, version in new:
+                record: CopyRecord | None = copies.get(obj_id)
+                if record is None:
+                    continue
+                if record.real_state is _VALID and record.fetched_version < version:
+                    record.real_state = _INVALID
+                    invalidated += 1
         if invalidated:
-            ns = invalidated * costs.invalidate_ns
+            ns = invalidated * self.costs.invalidate_ns
             thread.cpu.protocol_ns += ns
-            thread.clock.advance(ns)
+            thread.clock._now_ns += ns
             self.counters["invalidations"] += invalidated
         return len(new)
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessSummary:
     """Per-(thread, interval, object) access aggregate."""
 

@@ -28,7 +28,7 @@ class RealState(enum.Enum):
     INVALID = "invalid"
 
 
-@dataclass
+@dataclass(slots=True)
 class CopyRecord:
     """One node's copy of a shared object."""
 

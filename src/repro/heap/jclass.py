@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.util.validation import check_positive
 
 
-@dataclass
+@dataclass(slots=True)
 class JClass:
     """Metadata for one (sub)class of heap objects.
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from repro.heap.jclass import JClass
 
 
-@dataclass
+@dataclass(slots=True)
 class HeapObject:
     """One shared object (or array) in the global object space."""
 

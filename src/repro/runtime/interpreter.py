@@ -68,15 +68,28 @@ class Interpreter:
         #: migration engine checks (thread_id -> pending), set by MigrationEngine.
         self.migration_engine: "MigrationEngine | None" = None
         self.ops_executed = 0
+        #: opcode -> bound handler for synchronization ops; indexed by the
+        #: hot loop so ACQUIRE/RELEASE/BARRIER share one dispatch site.
+        self._sync_dispatch = {
+            prog.OP_ACQUIRE: self._do_acquire,
+            prog.OP_RELEASE: self._do_release,
+            prog.OP_BARRIER: self._do_barrier,
+        }
 
     # ------------------------------------------------------------------
 
     def attach_programs(self, programs: dict[int, object]) -> None:
-        """Attach an op iterable per thread id."""
+        """Attach and pre-decode an op iterable per thread id.
+
+        Programs are compiled once into :class:`~repro.runtime.program.
+        CompiledProgram` (dense op tuples + opcode array); the thread's
+        ``pc`` then doubles as the resume cursor across scheduling
+        points, replacing per-op generator resumption.
+        """
         for thread in self.threads:
             if thread.thread_id not in programs:
                 raise KeyError(f"no program for thread {thread.thread_id}")
-            thread.program = iter(programs[thread.thread_id])
+            thread.program = prog.compile_program(programs[thread.thread_id])
 
     def run(self) -> None:
         """Execute every thread to completion."""
@@ -122,93 +135,142 @@ class Interpreter:
                 self._node_cursor[node] = max(cursor, thread.clock.now_ns)
 
     def _run_segment(self, thread: SimThread) -> None:
-        """Execute ops until the next scheduling point."""
-        hlrc = self.hlrc
+        """Execute ops until the next scheduling point.
+
+        This is the simulator's innermost loop.  Everything touched per
+        op is hoisted into locals, the thread's ``pc`` is the cursor
+        into the compiled program (incremented before an op executes, as
+        before), READ/WRITE/COMPUTE are inlined, synchronization ops go
+        through a per-opcode dispatch table, and the timer/migration
+        poll is skipped entirely unless such hooks are attached.
+        """
+        program = thread.program
+        assert program is not None
+        if not isinstance(program, prog.CompiledProgram):
+            # Direct attachment (tests poke thread.program): decode lazily.
+            program = thread.program = prog.compile_program(program)
+        ops = program.ops
+        n_ops = program.n_ops
+        i = thread.pc
+        # Hot-path locals: attribute lookups hoisted out of the loop.
         costs = self.costs
+        access = self.hlrc.access
+        clock = thread.clock
+        cpu = thread.cpu
+        stack = thread.stack
+        frame_push_ns = costs.frame_push_ns
+        frame_pop_ns = costs.frame_pop_ns
+        scale_is_unity = costs.compute_scale == 1.0
+        scaled_compute = costs.scaled_compute
+        sync_dispatch = self._sync_dispatch
         timers = self.timers
         mig = self.migration_engine
-        assert thread.program is not None
-        for op in thread.program:
-            thread.pc += 1
-            code = op[0]
-            if code == prog.OP_READ or code == prog.OP_WRITE:
-                hlrc.access(
-                    thread,
-                    op[1],
-                    is_write=(code == prog.OP_WRITE),
-                    n_elems=op[2],
-                    repeat=op[3],
-                    elem_off=op[4],
-                )
-            elif code == prog.OP_COMPUTE:
-                ns = costs.scaled_compute(op[1])
-                thread.cpu.compute_ns += ns
-                thread.clock.advance(ns)
-            elif code == prog.OP_CALL:
-                frame = Frame(op[1], op[2], dict(op[3]))
-                thread.stack.push(frame)
-                thread.cpu.access_ns += costs.frame_push_ns
-                thread.clock.advance(costs.frame_push_ns)
-            elif code == prog.OP_RET:
-                thread.stack.pop()
-                thread.cpu.access_ns += costs.frame_pop_ns
-                thread.clock.advance(costs.frame_pop_ns)
-            elif code == prog.OP_SETSLOT:
-                top = thread.stack.top
-                if top is None:
-                    raise RuntimeError(
-                        f"thread {thread.thread_id}: SETSLOT at pc {thread.pc} "
-                        "with empty stack"
-                    )
-                top.set_slot(op[1], op[2])
-                thread.cpu.access_ns += SETSLOT_NS
-                thread.clock.advance(SETSLOT_NS)
-            elif code == prog.OP_ACQUIRE:
-                self.ops_executed += 1
-                granted = hlrc.acquire(thread, op[1])
-                if granted:
-                    self._post_op(thread, timers, mig)
+        mig_pending = mig._pending if mig is not None else None
+        poll_hooks = bool(timers) or mig is not None
+        tid = thread.thread_id
+        start_i = i
+        try:
+            # ``thread.pc`` is only observed at scheduling points (sync
+            # dispatch, timer/migration polls, interval close, errors),
+            # so the cursor stays in the local ``i`` during straight-line
+            # runs and is published right before any of those.
+            while i < n_ops:
+                op = ops[i]
+                i += 1
+                code = op[0]
+                if code <= prog.OP_WRITE:  # READ / WRITE
+                    access(thread, op[1], code == prog.OP_WRITE, op[2], op[3], op[4])
+                elif code == prog.OP_COMPUTE:
+                    v = op[1]
+                    if scale_is_unity and type(v) is int and v >= 0:
+                        ns = v
+                    else:
+                        ns = scaled_compute(v)
+                    cpu.compute_ns += ns
+                    clock._now_ns += ns
+                elif code == prog.OP_CALL:
+                    stack.push(Frame(op[1], op[2], dict(op[3])))
+                    cpu.access_ns += frame_push_ns
+                    clock._now_ns += frame_push_ns
+                elif code == prog.OP_RET:
+                    stack.pop()
+                    cpu.access_ns += frame_pop_ns
+                    clock._now_ns += frame_pop_ns
+                elif code == prog.OP_SETSLOT:
+                    top = stack.top
+                    if top is None:
+                        thread.pc = i
+                        raise RuntimeError(
+                            f"thread {tid}: SETSLOT at pc {i} with empty stack"
+                        )
+                    top.set_slot(op[1], op[2])
+                    cpu.access_ns += SETSLOT_NS
+                    clock._now_ns += SETSLOT_NS
+                elif code <= prog.OP_BARRIER:  # ACQUIRE / RELEASE / BARRIER
+                    thread.pc = i
+                    if sync_dispatch[code](thread, op) and poll_hooks:
+                        for timer in timers:
+                            timer.maybe_fire(thread)
+                        if mig_pending and tid in mig_pending:
+                            mig.maybe_migrate(thread)
+                    return  # yield so sync ordering tracks simulated time
                 else:
-                    thread.state = ThreadState.WAITING_LOCK
-                    thread.waiting_lock_id = op[1]
-                return  # yield so lock ordering tracks simulated time
-            elif code == prog.OP_RELEASE:
-                self.ops_executed += 1
-                unblocked = hlrc.release(thread, op[1], self.threads_by_id)
-                if unblocked is not None:
-                    other = self.threads_by_id[unblocked]
-                    other.state = ThreadState.RUNNABLE
-                    other.waiting_lock_id = None
-                self._post_op(thread, timers, mig)
-                return
-            elif code == prog.OP_BARRIER:
-                self.ops_executed += 1
-                barrier_id = op[1]
-                last = hlrc.barrier_arrive(thread, barrier_id, self.parties)
-                if last:
-                    hlrc.barrier_release(self.threads_by_id, barrier_id)
-                    for other in self.threads:
-                        if (
-                            other.state is ThreadState.WAITING_BARRIER
-                            and other.waiting_barrier_id == barrier_id
-                        ):
-                            other.state = ThreadState.RUNNABLE
-                            other.waiting_barrier_id = None
-                    self._post_op(thread, timers, mig)
-                else:
-                    thread.state = ThreadState.WAITING_BARRIER
-                    thread.waiting_barrier_id = barrier_id
-                return
-            else:
-                raise ValueError(f"unknown opcode {code} at pc {thread.pc}")
-            self.ops_executed += 1
-            self._post_op(thread, timers, mig)
+                    thread.pc = i
+                    raise ValueError(f"unknown opcode {code} at pc {i}")
+                if poll_hooks:
+                    thread.pc = i
+                    for timer in timers:
+                        timer.maybe_fire(thread)
+                    if mig_pending and tid in mig_pending:
+                        mig.maybe_migrate(thread)
+        finally:
+            thread.pc = i
+            self.ops_executed += i - start_i
         # Program exhausted: close the final interval.
         self.hlrc.close_interval(thread, "end")
         thread.state = ThreadState.DONE
 
+    # -- synchronization handlers (dispatch targets) -------------------
+    # Each returns True when the post-op hooks should run for the
+    # synchronizing thread (i.e. the op completed without blocking it).
+
+    def _do_acquire(self, thread: SimThread, op: tuple) -> bool:
+        if self.hlrc.acquire(thread, op[1]):
+            return True
+        thread.state = ThreadState.WAITING_LOCK
+        thread.waiting_lock_id = op[1]
+        return False
+
+    def _do_release(self, thread: SimThread, op: tuple) -> bool:
+        unblocked = self.hlrc.release(thread, op[1], self.threads_by_id)
+        if unblocked is not None:
+            other = self.threads_by_id[unblocked]
+            other.state = ThreadState.RUNNABLE
+            other.waiting_lock_id = None
+        return True
+
+    def _do_barrier(self, thread: SimThread, op: tuple) -> bool:
+        barrier_id = op[1]
+        if not self.hlrc.barrier_arrive(thread, barrier_id, self.parties):
+            thread.state = ThreadState.WAITING_BARRIER
+            thread.waiting_barrier_id = barrier_id
+            return False
+        self.hlrc.barrier_release(self.threads_by_id, barrier_id)
+        for other in self.threads:
+            if (
+                other.state is ThreadState.WAITING_BARRIER
+                and other.waiting_barrier_id == barrier_id
+            ):
+                other.state = ThreadState.RUNNABLE
+                other.waiting_barrier_id = None
+        return True
+
     def _post_op(self, thread: SimThread, timers, mig) -> None:
-        """Poll timer hooks and pending migrations after one op."""
+        """Poll timer hooks and pending migrations after one op.
+
+        Kept for compatibility; the hot loop inlines this behind a
+        "hooks attached" guard.
+        """
         for timer in timers:
             timer.maybe_fire(thread)
         if mig is not None and mig.has_pending(thread.thread_id):

@@ -52,6 +52,53 @@ OPCODE_NAMES = {
 Op = tuple
 
 
+class CompiledProgram:
+    """A pre-decoded thread program: the dense form the interpreter runs.
+
+    Workloads hand the interpreter arbitrary op iterables (usually
+    generators).  Compiling materializes the stream once into a flat
+    tuple of ops plus a parallel ``bytes`` opcode array, so the hot
+    execution loop indexes dense arrays instead of resuming a generator
+    per op, and segment resumption after a synchronization yield is a
+    plain cursor (the thread's ``pc``) rather than iterator state.
+    """
+
+    __slots__ = ("ops", "codes", "n_ops")
+
+    def __init__(self, ops: Iterable[Op]) -> None:
+        decoded = tuple(ops) if not isinstance(ops, tuple) else ops
+        # bytes() already rejects non-ints and codes outside 0..255; one
+        # C-speed max() catches anything past the opcode range.
+        codes = bytes(op[0] for op in decoded)
+        if codes and max(codes) > OP_BARRIER:
+            i = next(i for i, c in enumerate(codes) if c > OP_BARRIER)
+            raise ValueError(f"op {i}: unknown opcode {codes[i]!r}")
+        self.ops = decoded
+        #: dense per-op opcode array (one byte per op).
+        self.codes = codes
+        self.n_ops = len(decoded)
+
+    def __len__(self) -> int:
+        return self.n_ops
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+    def opcode_counts(self) -> dict[int, int]:
+        """Histogram {opcode: occurrences} (for reporting/tooling)."""
+        counts: dict[int, int] = {}
+        for code in self.codes:
+            counts[code] = counts.get(code, 0) + 1
+        return counts
+
+
+def compile_program(ops: Iterable[Op]) -> CompiledProgram:
+    """Pre-decode an op iterable (idempotent on compiled programs)."""
+    if isinstance(ops, CompiledProgram):
+        return ops
+    return CompiledProgram(ops)
+
+
 def read(obj_id: int, n_elems: int = 1, repeat: int = 1, elem_off: int = 0) -> Op:
     """READ op: ``repeat`` reads over ``n_elems`` elements from ``elem_off``."""
     return (OP_READ, obj_id, n_elems, repeat, elem_off)

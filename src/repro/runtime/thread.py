@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import enum
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.dsm.intervals import IntervalRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.program import CompiledProgram
 from repro.runtime.stack import JavaStack
 from repro.sim.clock import SimClock
 from repro.sim.costs import CpuAccounting
@@ -27,6 +30,22 @@ class SimThread:
     the HLRC interval state the protocol engine maintains.
     """
 
+    __slots__ = (
+        "thread_id",
+        "node_id",
+        "clock",
+        "cpu",
+        "stack",
+        "state",
+        "pc",
+        "interval_counter",
+        "current_interval",
+        "program",
+        "waiting_barrier_id",
+        "waiting_lock_id",
+        "migrations",
+    )
+
     def __init__(self, thread_id: int, node_id: int) -> None:
         self.thread_id = thread_id
         self.node_id = node_id
@@ -34,13 +53,14 @@ class SimThread:
         self.cpu = CpuAccounting()
         self.stack = JavaStack()
         self.state = ThreadState.RUNNABLE
-        #: current op index ("bytecode PC") within the program.
+        #: current op index ("bytecode PC") within the program; doubles as
+        #: the interpreter's resume cursor across scheduling points.
         self.pc = 0
         #: HLRC interval state, maintained by the protocol engine.
         self.interval_counter = 0
         self.current_interval: IntervalRecord = IntervalRecord(thread_id, 0)
-        #: program op iterator, attached by the interpreter.
-        self.program: Iterator | None = None
+        #: compiled program (or raw op iterable), attached by the interpreter.
+        self.program: "CompiledProgram | Iterator | None" = None
         #: barrier the thread is parked on (when WAITING_BARRIER).
         self.waiting_barrier_id: int | None = None
         #: lock the thread is parked on (when WAITING_LOCK).

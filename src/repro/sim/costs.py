@@ -128,7 +128,7 @@ class CostModel:
         return cls(compute_scale=0.01)
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuAccounting:
     """Mutable per-thread CPU time breakdown, in nanoseconds.
 

@@ -281,21 +281,135 @@ class BarnesHutWorkload(Workload):
         for _round in range(self.rounds):
             root = self._build_tree(pos)
             root_id, n_nodes = self._allocate_tree(djvm, root, cell_cls, leaf_cls, arr_cls)
-            per_thread = [Counter() for _ in range(self.n_threads)]
-            for b in range(self.n_bodies):
-                t = int(self._owner[b])
-                visited, partners = self._traverse(root, pos, b)
-                counter = per_thread[t]
-                for node in visited:
-                    counter[node.obj_id] += 1
-                    if node.is_leaf and node.arr_id >= 0:
-                        counter[node.arr_id] += 1
-                for i in partners:
-                    counter[self.body_ids[i]] += 1
-                    # The interaction reads the partner's position vector.
-                    counter[self.vect_ids[i][0]] += 1
+            per_thread = self._plan_round(root, pos)
             self._round_plans.append((root_id, per_thread, n_nodes))
             pos = pos + vel * self.dt
+
+    # ------------------------------------------------------------------
+    # round planning (traversal aggregation)
+    # ------------------------------------------------------------------
+
+    def _plan_round_reference(self, root: _TreeNode, pos: np.ndarray) -> list[Counter]:
+        """Reference planner: one :meth:`_traverse` per body, accumulated
+        into per-thread access Counters.  Kept as the specification that
+        the vectorized :meth:`_plan_round` must reproduce exactly
+        (including Counter insertion order, which fixes the op-stream
+        order :meth:`_generate` emits)."""
+        per_thread = [Counter() for _ in range(self.n_threads)]
+        for b in range(self.n_bodies):
+            t = int(self._owner[b])
+            visited, partners = self._traverse(root, pos, b)
+            counter = per_thread[t]
+            for node in visited:
+                counter[node.obj_id] += 1
+                if node.is_leaf and node.arr_id >= 0:
+                    counter[node.arr_id] += 1
+            for i in partners:
+                counter[self.body_ids[i]] += 1
+                # The interaction reads the partner's position vector.
+                counter[self.vect_ids[i][0]] += 1
+        return per_thread
+
+    def _plan_round(self, root: _TreeNode, pos: np.ndarray) -> list[Counter]:
+        """Vectorized planner: one tree walk for *all* bodies at once.
+
+        Instead of one pruned traversal per body, each node carries the
+        sorted array of bodies whose traversals visit it; a child
+        inherits the parent's visitors that pass the opening criterion.
+        Because pruning only removes whole subtrees, every body's visit
+        sequence is the global stack-DFS order filtered to the nodes it
+        visits — so sorting each thread's (first visiting body, emission
+        position) pairs reconstructs the reference planner's Counter
+        insertion order exactly, and the per-key counts are the visitor
+        multiplicities.  The opening criterion is evaluated with the
+        same IEEE double operations as :meth:`_traverse`, so the visit
+        sets are bit-identical.
+        """
+        n = self.n_bodies
+        n_threads = self.n_threads
+        theta = self.theta
+        owner = self._owner
+        body_ids = self.body_ids
+        vect_ids = self.vect_ids
+        px, py, pz = pos[:, 0], pos[:, 1], pos[:, 2]
+        # Thread block boundaries over body indices (owner is block-wise
+        # non-decreasing, so visitor arrays split by searchsorted).
+        bounds = np.empty(n_threads + 1, dtype=np.int64)
+        for t in range(n_threads):
+            bounds[t] = self.block_range(n, t, n_threads).start
+        bounds[n_threads] = n
+
+        #: per-thread (first_body, phase, position, key, count) tuples.
+        entries_of: list[list[tuple[int, int, int, int, int]]] = [
+            [] for _ in range(n_threads)
+        ]
+        dfs_idx = 0
+        member_offset = 0
+        stack: list[tuple[_TreeNode, np.ndarray]] = [
+            (root, np.arange(n, dtype=np.int64))
+        ]
+        while stack:
+            node, v = stack.pop()
+            j = dfs_idx
+            dfs_idx += 1
+            seg = np.searchsorted(v, bounds)
+            is_leaf = node.is_leaf
+            arr_key = node.arr_id if is_leaf else -1
+            obj_key = node.obj_id
+            for t in range(n_threads):
+                s, e = int(seg[t]), int(seg[t + 1])
+                if s == e:
+                    continue
+                first = int(v[s])
+                cnt = e - s
+                entries = entries_of[t]
+                entries.append((first, 0, 2 * j, obj_key, cnt))
+                if arr_key >= 0:
+                    entries.append((first, 0, 2 * j + 1, arr_key, cnt))
+            if is_leaf:
+                for mi, m in enumerate(node.bodies):
+                    mpos = 2 * (member_offset + mi)
+                    mt = int(owner[m])
+                    k = int(np.searchsorted(v, m))
+                    m_visits = k < v.size and int(v[k]) == m
+                    for t in range(n_threads):
+                        s, e = int(seg[t]), int(seg[t + 1])
+                        cnt = e - s
+                        if cnt == 0:
+                            continue
+                        first = int(v[s])
+                        if t == mt and m_visits:
+                            # The member's own traversal skips itself.
+                            cnt -= 1
+                            if cnt == 0:
+                                continue
+                            if first == m:
+                                first = int(v[s + 1])
+                        entries = entries_of[t]
+                        entries.append((first, 1, mpos, body_ids[m], cnt))
+                        entries.append((first, 1, mpos + 1, vect_ids[m][0], cnt))
+                member_offset += len(node.bodies)
+                continue
+            cx, cy, cz = node.centroid
+            dx = px[v] - cx
+            dy = py[v] - cy
+            dz = pz[v] - cz
+            d = np.sqrt(dx * dx + dy * dy + dz * dz) + 1e-12
+            kept = v[(2 * node.half) / d >= theta]
+            if kept.size:
+                for child in node.children:
+                    stack.append((child, kept))
+
+        per_thread = []
+        for entries in entries_of:
+            entries.sort()
+            counter: Counter = Counter()
+            for _first, _phase, _pos, key, cnt in entries:
+                # Keys are unique across entry slots (each object has one
+                # emission position), so assignment equals accumulation.
+                counter[key] = cnt
+            per_thread.append(counter)
+        return per_thread
 
     def _allocate_tree(self, djvm: DJVM, root: _TreeNode, cell_cls, leaf_cls, arr_cls) -> tuple[int, int]:
         """Allocate heap objects for one round's tree.  Each node is homed
@@ -351,38 +465,45 @@ class BarnesHutWorkload(Workload):
         return self.block_range(self.n_bodies, thread_id, self.n_threads)
 
     def program(self, thread_id: int):
-        """The op stream for one thread."""
+        """The thread's op list (pre-built; op tuples are emitted inline
+        so repeated builds avoid per-op constructor calls)."""
         return self._generate(thread_id)
 
     def _generate(self, thread_id: int):
         own = list(self.bodies_of(thread_id))
+        n_own = len(own)
+        body_ids = self.body_ids
+        vect_ids = self.vect_ids
         barrier_seq = 0
         tree_lock = 0
-        yield P.call("BarnesHut.run", n_slots=6, refs=[(0, self.bodies_arr_id)])
-        yield P.read(self.bodies_arr_id, n_elems=len(own), elem_off=own[0])
+        ops: list[tuple] = []
+        add = ops.append
+        add((P.OP_CALL, "BarnesHut.run", 6, ((0, self.bodies_arr_id),)))
+        add((P.OP_READ, self.bodies_arr_id, n_own, 1, own[0]))
         for rnd in range(self.rounds):
             root_id, per_thread, _n_nodes = self._round_plans[rnd]
             # --- phase A: tree build (lock-serialized insertions) --------
-            yield P.call("BarnesHut.maketree", n_slots=4, refs=[(0, root_id)])
+            add((P.OP_CALL, "BarnesHut.maketree", 4, ((0, root_id),)))
             for b in own:
-                yield P.read(self.body_ids[b])
-            yield P.acquire(tree_lock)
+                add((P.OP_READ, body_ids[b], 1, 1, 0))
+            add((P.OP_ACQUIRE, tree_lock))
             # Insertion path writes: the cells along each own body's path;
             # approximated by the nodes this thread's traversals meet
             # (paths share the tree's upper levels).
-            yield P.write(root_id, repeat=len(own))
-            yield P.compute(len(own) * INTERACTION_NS)
-            yield P.release(tree_lock)
-            yield P.ret()
-            yield P.barrier(barrier_seq)
+            add((P.OP_WRITE, root_id, 1, n_own, 0))
+            add((P.OP_COMPUTE, n_own * INTERACTION_NS))
+            add((P.OP_RELEASE, tree_lock))
+            add((P.OP_RET,))
+            add((P.OP_BARRIER, barrier_seq))
             barrier_seq += 1
 
             # --- phase B: force computation ------------------------------
-            yield P.call(
+            add((
+                P.OP_CALL,
                 "BarnesHut.computeForces",
-                n_slots=6,
-                refs=[(0, root_id), (1, self.bodies_arr_id)],
-            )
+                6,
+                ((0, root_id), (1, self.bodies_arr_id)),
+            ))
             # Emit each object's accesses in two interleaved passes so an
             # object visited by many traversals is seen both early and
             # late in the interval — the temporal spread real traversals
@@ -402,38 +523,39 @@ class BarnesHutWorkload(Workload):
                             continue
                     if emitted % FRAME_CHURN_READS == 0:
                         if frame_open:
-                            yield P.ret()
-                        yield P.call("BarnesHut.walkSub", n_slots=3, refs=[(0, obj_id)])
+                            add((P.OP_RET,))
+                        add((P.OP_CALL, "BarnesHut.walkSub", 3, ((0, obj_id),)))
                         frame_open = True
-                    yield P.read(obj_id, repeat=rep)
+                    add((P.OP_READ, obj_id, 1, rep, 0))
                     # Interleave the force arithmetic with the accesses, as
                     # the real traversal does (chunked to bound op count).
                     pending_compute += rep * INTERACTION_NS
                     emitted += 1
                     if emitted % 16 == 0:
-                        yield P.compute(pending_compute)
+                        add((P.OP_COMPUTE, pending_compute))
                         pending_compute = 0
             if pending_compute:
-                yield P.compute(pending_compute)
+                add((P.OP_COMPUTE, pending_compute))
             if frame_open:
-                yield P.ret()
+                add((P.OP_RET,))
             # Acceleration writes to own bodies' acc vectors.
             for b in own:
-                yield P.write(self.vect_ids[b][2])
-            yield P.ret()
-            yield P.barrier(barrier_seq)
+                add((P.OP_WRITE, vect_ids[b][2], 1, 1, 0))
+            add((P.OP_RET,))
+            add((P.OP_BARRIER, barrier_seq))
             barrier_seq += 1
 
             # --- phase C: position integration ---------------------------
-            yield P.call("BarnesHut.advance", n_slots=4, refs=[(0, self.bodies_arr_id)])
+            add((P.OP_CALL, "BarnesHut.advance", 4, ((0, self.bodies_arr_id),)))
             for b in own:
-                pv, vv, av = self.vect_ids[b]
-                yield P.read(self.body_ids[b])
-                yield P.read(av)
-                yield P.write(vv)
-                yield P.write(pv)
-            yield P.compute(len(own) * INTERACTION_NS)
-            yield P.ret()
-            yield P.barrier(barrier_seq)
+                pv, vv, av = vect_ids[b]
+                add((P.OP_READ, body_ids[b], 1, 1, 0))
+                add((P.OP_READ, av, 1, 1, 0))
+                add((P.OP_WRITE, vv, 1, 1, 0))
+                add((P.OP_WRITE, pv, 1, 1, 0))
+            add((P.OP_COMPUTE, n_own * INTERACTION_NS))
+            add((P.OP_RET,))
+            add((P.OP_BARRIER, barrier_seq))
             barrier_seq += 1
-        yield P.ret()
+        add((P.OP_RET,))
+        return ops

@@ -89,34 +89,48 @@ class SORWorkload(Workload):
         return self.block_range(self.n, thread_id, self.n_threads)
 
     def program(self, thread_id: int):
-        """Generator of the thread's ops (lazy: rounds stream out)."""
+        """The thread's op list (pre-built; op tuples are emitted inline
+        so repeated builds avoid per-op constructor calls)."""
         return self._generate(thread_id)
 
     def _generate(self, thread_id: int):
         assert self.matrix_id is not None, "build() must run first"
         rows = self.rows_of(thread_id)
         n = self.n
+        half = n // 2
+        row_ids = self.row_ids
+        compute_ns = half * CELL_COMPUTE_NS
         barrier_seq = 0
+        ops: list[tuple] = []
+        add = ops.append
         # run() frame: the matrix reference lives here for the whole run —
         # the canonical stack invariant.
-        yield P.call("SOR.run", n_slots=6, refs=[(0, self.matrix_id)])
-        yield P.read(self.matrix_id, n_elems=len(rows))
+        add((P.OP_CALL, "SOR.run", 6, ((0, self.matrix_id),)))
+        add((P.OP_READ, self.matrix_id, len(rows), 1, 0))
+        # Each round replays the same red/black sweep (op tuples are
+        # immutable, so one prototype body per color is shared across
+        # rounds); only the trailing barrier sequence number changes.
+        bodies: list[list[tuple]] = []
+        for color in (0, 1):  # red, black
+            body: list[tuple] = [(P.OP_CALL, "SOR.phase", 4, ((0, self.matrix_id),))]
+            badd = body.append
+            for r in rows:
+                if r % 2 != color:
+                    continue
+                # Near-neighbour stencil: rows r-1 and r+1 are read.
+                if r > 0:
+                    badd((P.OP_READ, row_ids[r - 1], half, 1, 0))
+                badd((P.OP_READ, row_ids[r], half, 1, 0))
+                if r < n - 1:
+                    badd((P.OP_READ, row_ids[r + 1], half, 1, 0))
+                badd((P.OP_COMPUTE, compute_ns))
+                badd((P.OP_WRITE, row_ids[r], half, 1, 0))
+            badd((P.OP_RET,))
+            bodies.append(body)
         for _round in range(self.rounds):
-            for color in (0, 1):  # red, black
-                yield P.call("SOR.phase", n_slots=4, refs=[(0, self.matrix_id)])
-                half = n // 2
-                for r in rows:
-                    if r % 2 != color:
-                        continue
-                    # Near-neighbour stencil: rows r-1 and r+1 are read.
-                    if r > 0:
-                        yield P.read(self.row_ids[r - 1], n_elems=half)
-                    yield P.read(self.row_ids[r], n_elems=half)
-                    if r < n - 1:
-                        yield P.read(self.row_ids[r + 1], n_elems=half)
-                    yield P.compute(half * CELL_COMPUTE_NS)
-                    yield P.write(self.row_ids[r], n_elems=half)
-                yield P.ret()
-                yield P.barrier(barrier_seq)
+            for body in bodies:
+                ops += body
+                add((P.OP_BARRIER, barrier_seq))
                 barrier_seq += 1
-        yield P.ret()
+        add((P.OP_RET,))
+        return ops

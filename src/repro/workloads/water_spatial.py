@@ -64,6 +64,14 @@ class WaterSpatialWorkload(Workload):
         #: (thread -> list of (mol, from_cell, to_cell)).
         self._rounds_members: list[list[list[int]]] = []
         self._rounds_moves: list[dict[int, list[tuple[int, int, int]]]] = []
+        #: round-invariant op prototypes, precomputed by build() and
+        #: shared across rounds/threads (op tuples are immutable).
+        self._neighbour_lists: list[list[int]] = []
+        self._op_cell_read: list[tuple] = []
+        self._op_mol_read1: list[tuple] = []
+        self._op_mol_write1: list[tuple] = []
+        self._op_coord_write: list[tuple] = []
+        self._op_cell_arr_write1: list[tuple] = []
 
     def spec(self) -> WorkloadSpec:
         """Descriptive characteristics (Table I row)."""
@@ -194,65 +202,90 @@ class WaterSpatialWorkload(Workload):
             self._rounds_moves.append(moves)
             members = new_members
 
+        # Round-invariant prototypes for _generate.
+        self._neighbour_lists = [self.neighbours(c) for c in range(n_cells)]
+        self._op_cell_read = [(P.OP_READ, cid, 1, 1, 0) for cid in self.cell_obj_ids]
+        self._op_mol_read1 = [(P.OP_READ, mid, 1, 1, 0) for mid in self.mol_ids]
+        self._op_mol_write1 = [(P.OP_WRITE, mid, 1, 1, 0) for mid in self.mol_ids]
+        self._op_coord_write = [(P.OP_WRITE, cid, 9, 1, 0) for cid in self.coord_ids]
+        self._op_cell_arr_write1 = [(P.OP_WRITE, aid, 1, 1, 0) for aid in self.cell_arr_ids]
+
     # ------------------------------------------------------------------
     # programs
     # ------------------------------------------------------------------
 
     def program(self, thread_id: int):
-        """The op stream for one thread."""
+        """The thread's op list (pre-built; op tuples are emitted inline
+        so repeated builds avoid per-op constructor calls)."""
         return self._generate(thread_id)
 
     def _generate(self, thread_id: int):
         own_cells = list(self.cells_of(thread_id))
         barrier_seq = 0
         anchor_cell = self.cell_obj_ids[own_cells[0]]
-        yield P.call("Water.run", n_slots=6, refs=[(0, anchor_cell)])
+        cell_obj_ids = self.cell_obj_ids
+        cell_arr_ids = self.cell_arr_ids
+        mol_ids = self.mol_ids
+        coord_ids = self.coord_ids
+        neighbour_lists = self._neighbour_lists
+        cell_read = self._op_cell_read
+        mol_read1 = self._op_mol_read1
+        mol_write1 = self._op_mol_write1
+        coord_write = self._op_coord_write
+        cell_arr_write1 = self._op_cell_arr_write1
+        ops: list[tuple] = []
+        add = ops.append
+        add((P.OP_CALL, "Water.run", 6, ((0, anchor_cell),)))
         for rnd in range(self.rounds):
             members = self._rounds_members[rnd]
             # --- force phase -------------------------------------------
-            yield P.call("Water.interf", n_slots=5, refs=[(0, anchor_cell)])
+            add((P.OP_CALL, "Water.interf", 5, ((0, anchor_cell),)))
             for c in own_cells:
                 own_mols = members[c]
                 if not own_mols:
                     continue
-                yield P.call("Water.cellPairs", n_slots=3, refs=[(0, self.cell_obj_ids[c])])
-                yield P.read(self.cell_obj_ids[c])
-                yield P.read(self.cell_arr_ids[c], n_elems=max(len(own_mols), 1))
+                n_own = len(own_mols)
+                add((P.OP_CALL, "Water.cellPairs", 3, ((0, cell_obj_ids[c]),)))
+                add(cell_read[c])
+                add((P.OP_READ, cell_arr_ids[c], max(n_own, 1), 1, 0))
                 pair_count = 0
-                for nb in self.neighbours(c):
+                for nb in neighbour_lists[c]:
                     nb_mols = members[nb]
                     if not nb_mols:
                         continue
                     if nb != c:
-                        yield P.read(self.cell_obj_ids[nb])
-                        yield P.read(self.cell_arr_ids[nb], n_elems=max(len(nb_mols), 1))
+                        add(cell_read[nb])
+                        add((P.OP_READ, cell_arr_ids[nb], max(len(nb_mols), 1), 1, 0))
+                        reps = n_own
+                    else:
+                        reps = max(n_own - 1, 1)
                     for m in nb_mols:
                         # Each neighbour molecule is read (scalar + coords)
                         # once per own molecule pairing; aggregate repeats.
-                        reps = len(own_mols) if nb != c else max(len(own_mols) - 1, 1)
-                        yield P.read(self.mol_ids[m], repeat=reps)
-                        yield P.read(self.coord_ids[m], n_elems=9, repeat=reps)
+                        add((P.OP_READ, mol_ids[m], 1, reps, 0))
+                        add((P.OP_READ, coord_ids[m], 9, reps, 0))
                         pair_count += reps
                 for m in own_mols:
-                    yield P.write(self.coord_ids[m], n_elems=9)
-                yield P.compute(pair_count * PAIR_COMPUTE_NS)
-                yield P.ret()
-            yield P.ret()
-            yield P.barrier(barrier_seq)
+                    add(coord_write[m])
+                add((P.OP_COMPUTE, pair_count * PAIR_COMPUTE_NS))
+                add((P.OP_RET,))
+            add((P.OP_RET,))
+            add((P.OP_BARRIER, barrier_seq))
             barrier_seq += 1
 
             # --- integration + cell reassignment -------------------------
-            yield P.call("Water.advance", n_slots=4, refs=[(0, anchor_cell)])
+            add((P.OP_CALL, "Water.advance", 4, ((0, anchor_cell),)))
             for c in own_cells:
                 for m in members[c]:
-                    yield P.read(self.mol_ids[m])
-                    yield P.write(self.coord_ids[m], n_elems=9)
+                    add(mol_read1[m])
+                    add(coord_write[m])
             for m, old_c, new_c in self._rounds_moves[rnd].get(thread_id, []):
                 # Moving a molecule rewrites both cells' membership arrays.
-                yield P.write(self.cell_arr_ids[old_c], n_elems=1)
-                yield P.write(self.cell_arr_ids[new_c], n_elems=1)
-                yield P.write(self.mol_ids[m])
-            yield P.ret()
-            yield P.barrier(barrier_seq)
+                add(cell_arr_write1[old_c])
+                add(cell_arr_write1[new_c])
+                add(mol_write1[m])
+            add((P.OP_RET,))
+            add((P.OP_BARRIER, barrier_seq))
             barrier_seq += 1
-        yield P.ret()
+        add((P.OP_RET,))
+        return ops

@@ -161,3 +161,82 @@ class TestSamplingDecisions:
         policy.set_rate(body, 4)
         # Should realize roughly 4 samples per page.
         assert policy.effective_rate(body) == pytest.approx(4, rel=0.35)
+
+
+class TestDecisionCacheStaleness:
+    """Gap changes must bump the epoch and invalidate memoized decisions
+    (the hot path serves cached tuples only while cache_epoch == epoch)."""
+
+    def test_gap_change_bumps_epoch_and_invalidates_cache(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body_cls = gos.registry.get("Body")
+        objs = [gos.allocate(body_cls, 0) for _ in range(20)]
+        policy.set_nominal_gap(body_cls, 5)
+        before = [policy.decision(o) for o in objs]
+        st_ = policy.state(body_cls)
+        assert st_.cache_epoch == st_.epoch
+        assert len(st_.decisions) == len(objs)
+
+        epoch_before = st_.epoch
+        assert policy.set_nominal_gap(body_cls, 13)
+        assert st_.epoch == epoch_before + 1
+        # The stale cache is dropped on the next lookup, not served.
+        after = [policy.decision(o) for o in objs]
+        assert st_.cache_epoch == st_.epoch
+        assert after != before
+        # Recomputed decisions match a cache-free policy at the new gap.
+        fresh = SamplingPolicy()
+        fresh.set_nominal_gap(body_cls, 13)
+        assert after == [fresh.decision(o) for o in objs]
+
+    def test_unchanged_gap_keeps_cache_warm(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body_cls = gos.registry.get("Body")
+        obj = gos.allocate(body_cls, 0)
+        policy.set_nominal_gap(body_cls, 13)
+        policy.decision(obj)
+        st_ = policy.state(body_cls)
+        epoch = st_.epoch
+        # Re-realizing the same real gap is not a change: no epoch bump,
+        # memo retained.
+        assert not policy.set_nominal_gap(body_cls, 13)
+        assert st_.epoch == epoch
+        assert obj.obj_id in st_.decisions
+
+    def test_gap_table_tracks_changes(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body_cls = gos.registry.get("Body")
+        policy.set_nominal_gap(body_cls, 5)
+        assert policy.gap_table[body_cls.class_id] == policy.gap(body_cls)
+        policy.set_nominal_gap(body_cls, 29)
+        assert policy.gap_table[body_cls.class_id] == policy.gap(body_cls) == 29
+
+    def test_array_amortization_recomputed_after_gap_change(self):
+        """The cached (sampled, logged, scaled) of an array must follow
+        sampled_element_count/amortized_sample_bytes across gap changes."""
+        from repro.core.array_sampling import (
+            amortized_sample_bytes,
+            sampled_element_count,
+        )
+
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        arr_cls = gos.registry.get("double[]")
+        arrs = [gos.allocate(arr_cls, 0, length=50) for _ in range(8)]
+        for gap_nominal in (7, 23):
+            policy.set_nominal_gap(arr_cls, gap_nominal)
+            gap = policy.gap(arr_cls)
+            for a in arrs:
+                sampled, logged, scaled = policy.decision(a)
+                assert sampled == (sampled_element_count(a.seq, a.length, gap) > 0)
+                assert logged == amortized_sample_bytes(a, gap)
+                assert scaled == logged * gap
+        # And the second pass was served against the *new* gap: at least
+        # one array's decision tuple changed between the two gaps.
+        policy2 = SamplingPolicy()
+        policy2.set_nominal_gap(arr_cls, 7)
+        old = [policy2.decision(a) for a in arrs]
+        assert [policy.decision(a) for a in arrs] != old

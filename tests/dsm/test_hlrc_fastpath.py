@@ -1,0 +1,118 @@
+"""The HLRC access fast path must be observationally transparent.
+
+The engine has two hook-dispatch routes: the single-hook fast dispatch
+(``fast_on_access``, fired once per (interval, object) first touch) and
+the generic keyword fan-out (fired on every access).  Registering a
+second, inert hook forces the generic route, so running the same program
+both ways and comparing protocol counters, per-thread clocks, and
+logging totals pins down that the fast path changes *nothing* the
+simulation can observe — including when prefetch bundles satisfy
+accesses that would otherwise fault.
+"""
+
+from repro.core.profiler import ProfilerSuite
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.sim.costs import CostModel
+from repro.sim.network import MessageKind
+
+from tests.conftest import simple_class, wrap_main
+
+
+class NullHook:
+    """Cost-free hook whose only effect is forcing the generic fan-out
+    (it does not provide ``fast_on_access``)."""
+
+    def on_interval_open(self, thread):
+        pass
+
+    def on_access(self, thread, obj, **kw):
+        pass
+
+    def on_interval_close(self, thread, interval, sync_dst):
+        pass
+
+
+class StubPrefetcher:
+    """Always bundles a fixed set of objects into any fault reply."""
+
+    def __init__(self, extras):
+        self.extras = extras
+
+    def bundle_for(self, thread, obj):
+        return [e for e in self.extras if e.obj_id != obj.obj_id]
+
+
+def run_scenario(*, force_fanout: bool, with_prefetch: bool = False):
+    """Two nodes ping-ponging writes over shared objects, under full
+    sampling; returns every observable the fast path could perturb."""
+    djvm = DJVM(n_nodes=2, costs=CostModel.fast_test())
+    cls = simple_class(djvm, "Obj", 64)
+    objs = [djvm.allocate(cls, i % 2) for i in range(4)]
+    djvm.spawn_threads(2)
+    suite = ProfilerSuite(djvm, correlation=True)
+    suite.set_full_sampling()
+    if force_fanout:
+        djvm.add_hook(NullHook())
+    if with_prefetch:
+        djvm.hlrc.prefetcher = StubPrefetcher(objs)
+    ids = [o.obj_id for o in objs]
+    programs = {
+        0: wrap_main(
+            [P.read(ids[0]), P.write(ids[1]), P.barrier(0)]
+            + [P.read(ids[2], repeat=5), P.write(ids[0]), P.barrier(1)]
+            + [P.read(ids[1]), P.read(ids[3]), P.barrier(2)]
+        ),
+        1: wrap_main(
+            [P.read(ids[1]), P.write(ids[0]), P.barrier(0)]
+            + [P.read(ids[3], repeat=5), P.write(ids[2]), P.barrier(1)]
+            + [P.read(ids[0]), P.read(ids[2]), P.barrier(2)]
+        ),
+    }
+    djvm.run(programs)
+    return {
+        "counters": dict(djvm.hlrc.counters),
+        "clocks": [t.clock.now_ns for t in djvm.threads],
+        "cpu_oal_ns": [t.cpu.oal_logging_ns for t in djvm.threads],
+        "logged": suite.access_profiler.total_logged,
+        "fetches": djvm.cluster.network.stats.count_by_kind.get(
+            MessageKind.OBJECT_FETCH_DATA, 0
+        ),
+    }
+
+
+class TestFastDispatchTransparency:
+    def test_counters_and_clocks_match_generic_fanout(self):
+        fast = run_scenario(force_fanout=False)
+        slow = run_scenario(force_fanout=True)
+        assert fast == slow
+        # The scenario actually exercises the interesting machinery.
+        assert fast["counters"]["faults"] > 0
+        assert fast["counters"]["invalidations"] > 0
+        assert fast["logged"] > 0
+
+    def test_prefetch_bundle_hits_match_generic_fanout(self):
+        fast = run_scenario(force_fanout=False, with_prefetch=True)
+        slow = run_scenario(force_fanout=True, with_prefetch=True)
+        assert fast == slow
+        # Bundles satisfy accesses that fault without prefetching.
+        plain = run_scenario(force_fanout=False)
+        assert fast["counters"]["faults"] < plain["counters"]["faults"]
+
+    def test_valid_copy_hit_adds_no_protocol_work(self):
+        """Re-reading a valid copy must not fault, invalidate, or send."""
+        djvm = DJVM(n_nodes=2, costs=CostModel.fast_test())
+        cls = simple_class(djvm, "Obj", 64)
+        obj = djvm.allocate(cls, 0)
+        djvm.spawn_threads(2)
+        djvm.run(
+            {
+                0: wrap_main([P.barrier(0)]),
+                1: wrap_main([P.read(obj.obj_id)] * 50 + [P.barrier(0)]),
+            }
+        )
+        assert djvm.hlrc.counters["faults"] == 1
+        fetches = djvm.cluster.network.stats.count_by_kind.get(
+            MessageKind.OBJECT_FETCH_DATA, 0
+        )
+        assert fetches == 1

@@ -101,3 +101,35 @@ class TestSharingProfile:
         assert res.counters["intervals"] > 0
         # 3 barrier episodes per round x 2 rounds.
         assert len(djvm.hlrc.sync.barriers) == 6
+
+
+class TestVectorizedPlanner:
+    def test_plan_round_matches_reference(self):
+        """The vectorized planner must reproduce the per-body reference
+        traversal exactly — same per-thread counts AND the same Counter
+        insertion order (which fixes the op stream _generate emits)."""
+        wl, _ = build(n_bodies=128, rounds=3, n_threads=4, n_nodes=4)
+        # Reconstruct the same (galaxy, Morton)-ordered state build() used.
+        pos, vel, labels = wl._generate_galaxies()
+        order = np.lexsort((wl._morton_order(pos).argsort(), labels))
+        pos, vel = pos[order], vel[order]
+        for _round in range(wl.rounds):
+            root = wl._build_tree(pos)
+            # Stand in for _allocate_tree: give every node a distinct id
+            # (DFS order) so the Counters key on real, unique objects.
+            next_id = 10_000_000
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                node.obj_id = next_id
+                next_id += 1
+                if node.is_leaf and node.bodies:
+                    node.arr_id = next_id
+                    next_id += 1
+                stack.extend(node.children)
+            fast = wl._plan_round(root, pos)
+            ref = wl._plan_round_reference(root, pos)
+            assert len(fast) == len(ref) == wl.n_threads
+            for t in range(wl.n_threads):
+                assert list(fast[t].items()) == list(ref[t].items())
+            pos = pos + vel * wl.dt
