@@ -1,12 +1,21 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-paper perf examples demo clean
+.PHONY: install test check bench bench-paper perf examples demo clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# The pre-merge gate: tier-1 tests plus the perf regression guard
+# (wall-time within tolerance of BENCH_perf.json, determinism checksums
+# unchanged).  Does not rewrite the committed baseline — use `make perf`
+# for that.
+check:
+	pytest tests/
+	PYTHONPATH=src python benchmarks/perf_harness.py --repeats 3 --output /tmp/BENCH_perf.check.json
+	PYTHONPATH=src python benchmarks/check_regression.py BENCH_perf.json /tmp/BENCH_perf.check.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

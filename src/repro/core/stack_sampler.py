@@ -95,6 +95,21 @@ class StackSampler:
         self._next_fire[thread.thread_id] = now + self.gap_ns
         self.sample_stack(thread)
 
+    def next_fire_ns(self, thread: SimThread) -> int:
+        """Absolute deadline of the next fire for ``thread`` (ns).
+
+        Deadline API for the event kernel's fast path: the interpreter
+        compares the running thread's clock against the minimum deadline
+        instead of calling :meth:`maybe_fire` after every op.  Returns 0
+        while the thread's deadline is uninitialized (forcing one poll,
+        which initializes it exactly like the legacy first call did) and
+        a far-future sentinel when sampling is disabled.
+        """
+        if not self.enabled:
+            return 1 << 62
+        nxt = self._next_fire.get(thread.thread_id)
+        return 0 if nxt is None else nxt
+
     # ------------------------------------------------------------------
     # SAMPLE-STACK (Fig. 8)
     # ------------------------------------------------------------------

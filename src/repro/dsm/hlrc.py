@@ -538,7 +538,8 @@ class HomeBasedLRC:
     def barrier_arrive(self, thread, barrier_id: int, parties: int) -> bool:
         """Barrier arrival: closes the interval and registers at the
         barrier.  Returns True when the caller is the last arriver (the
-        scheduler then calls :meth:`barrier_release`)."""
+        scheduler then schedules a ``BARRIER_RELEASE`` event whose
+        dispatch calls :meth:`barrier_release`)."""
         barrier = self.sync.barrier(barrier_id, parties)
         self.close_interval(thread, "barrier", sync_dst=self.cluster.master_id)
         now = thread.clock.now_ns
@@ -547,9 +548,10 @@ class HomeBasedLRC:
         )
         return barrier.arrive(thread.thread_id, now)
 
-    def barrier_release(self, threads_by_id: dict[int, object], barrier_id: int) -> None:
+    def barrier_release(self, threads_by_id: dict[int, object], barrier_id: int) -> int:
         """Complete a barrier episode: align clocks, distribute write
-        notices, apply invalidations, and open fresh intervals."""
+        notices, apply invalidations, and open fresh intervals.
+        Returns the episode's release time (ns)."""
         costs = self.costs
         barrier = self.sync.barriers[barrier_id]
         release_ns, waiters = barrier.release_all()

@@ -9,9 +9,11 @@ barriers rendezvous at the master.  Timing semantics:
   approximation adequate for the paper's workloads, which synchronize
   almost exclusively with barriers.
 * **Barrier**: every participant sends an arrival message to the master
-  and blocks; when the last participant arrives, all clocks align to the
-  maximum arrival time plus the barrier cost and a release message flows
-  back.  The scheduler (interpreter) drives the blocking; this module
+  and blocks; when the last participant arrives, a ``BARRIER_RELEASE``
+  event is scheduled on the event kernel at the last arrival time.
+  Dispatching it aligns all clocks to the maximum arrival time plus the
+  barrier cost and flows release messages back.  The scheduler
+  (interpreter) drives the blocking and the event dispatch; this module
   only keeps the state and computes times.
 """
 
@@ -53,16 +55,28 @@ class Barrier:
     #: thread_id -> arrival time for the episode in progress.
     waiting: dict[int, int] = field(default_factory=dict)
     episodes: int = 0
+    #: True between the last arrival and the dispatch of the episode's
+    #: BARRIER_RELEASE event — guards against double-scheduling.
+    release_pending: bool = False
 
     def arrive(self, thread_id: int, now_ns: int) -> bool:
         """Register arrival; returns True when this arrival completes the
-        episode (caller then releases everyone via :meth:`release_all`)."""
+        episode (caller then schedules a release event that runs
+        :meth:`release_all`)."""
         if thread_id in self.waiting:
             raise RuntimeError(
                 f"thread {thread_id} arrived twice at barrier {self.barrier_id}"
             )
+        if self.release_pending:
+            raise RuntimeError(
+                f"thread {thread_id} arrived at barrier {self.barrier_id} "
+                "while its release is still pending"
+            )
         self.waiting[thread_id] = now_ns
-        return len(self.waiting) == self.parties
+        if len(self.waiting) == self.parties:
+            self.release_pending = True
+            return True
+        return False
 
     def release_all(self) -> tuple[int, list[int]]:
         """Complete the episode: returns (max arrival time, waiters)."""
@@ -75,6 +89,7 @@ class Barrier:
         waiters = list(self.waiting)
         self.waiting.clear()
         self.episodes += 1
+        self.release_pending = False
         return release_ns, waiters
 
 

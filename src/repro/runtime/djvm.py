@@ -68,6 +68,7 @@ class DJVM:
         network: Network | None = None,
         keep_interval_history: bool = False,
         timeshare_nodes: bool = True,
+        keep_event_trace: bool = False,
     ) -> None:
         self.cluster = Cluster(
             n_nodes,
@@ -82,6 +83,8 @@ class DJVM:
         #: single-core nodes (paper hardware) when True; one core per
         #: thread when False.
         self.timeshare_nodes = timeshare_nodes
+        #: keep the event kernel's (time_ns, kind, actor) audit trace.
+        self.keep_event_trace = keep_event_trace
         self.threads: list[SimThread] = []
         self.timers: list[TimerHook] = []
         self._interpreter: Interpreter | None = None
@@ -160,6 +163,14 @@ class DJVM:
         """Attach a timer-driven profiler component."""
         self.timers.append(timer)
 
+    @property
+    def event_trace(self) -> list[tuple[int, str, int]]:
+        """The event kernel's dispatched-event trace from the last run
+        (empty unless constructed with ``keep_event_trace=True``)."""
+        if self._interpreter is None:
+            return []
+        return self._interpreter.kernel.trace
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -176,7 +187,10 @@ class DJVM:
                 f"threads {spent} already ran; build a fresh DJVM per run"
             )
         interp = Interpreter(
-            self.hlrc, self.threads, timeshare_nodes=self.timeshare_nodes
+            self.hlrc,
+            self.threads,
+            timeshare_nodes=self.timeshare_nodes,
+            keep_event_trace=self.keep_event_trace,
         )
         interp.timers = self.timers
         interp.migration_engine = self.migration

@@ -1,15 +1,31 @@
 """The interpreter/scheduler: executes thread programs over the HLRC
 protocol engine with simulated-time accounting.
 
-Scheduling model: a thread runs without preemption until it reaches a
-synchronization op (legal under lazy release consistency — remote writes
-only become visible at synchronization anyway); the scheduler then
-resumes the runnable thread with the smallest simulated clock.  Barriers
-park threads until the last participant arrives.
+Scheduling model: the interpreter drives a deterministic discrete-event
+kernel (:class:`~repro.sim.events.EventLoop`).  Every runnable thread
+has exactly one ``SEGMENT_END`` event pending, scheduled at the time the
+thread became runnable; dispatching it executes the thread's next
+segment — ops run without preemption until a synchronization op (legal
+under lazy release consistency: remote writes only become visible at
+synchronization anyway) — and then schedules successor events.  Because
+events pop in ``(time_ns, seq)`` order and newly-runnable threads are
+scheduled in thread-table order, the event kernel reproduces the legacy
+"resume the runnable thread with the smallest clock" rule exactly,
+including its tie-break.
 
-Timer hooks (stack sampler, sticky-set footprint tracker) are polled
-after every op against the owning thread's clock — the simulated analogue
-of the paper's millisecond-granularity profiling timers.
+Barriers are event-driven: the last arriver parks like every other
+participant and schedules a ``BARRIER_RELEASE`` event whose dispatch
+aligns clocks, distributes write notices, and wakes the waiters.
+Post-synchronization migration checks route through ``MIGRATION_CHECK``
+events chained ahead of the thread's next segment.
+
+Timer hooks (stack sampler, sticky-set footprint tracker) that expose
+the ``next_fire_ns`` deadline API register absolute deadlines: the hot
+loop compares the running thread's clock against the minimum deadline —
+one integer compare per op — and only calls into the hooks when a
+deadline passes (fires are recorded into the kernel trace as
+``TIMER_FIRE`` events).  Hooks without the API (condition-driven hooks
+like the online rebalancer) fall back to legacy per-op polling.
 """
 
 from __future__ import annotations
@@ -20,6 +36,7 @@ from repro.dsm.hlrc import HomeBasedLRC
 from repro.runtime import program as prog
 from repro.runtime.stack import Frame
 from repro.runtime.thread import SimThread, ThreadState
+from repro.sim.events import Event, EventKind, EventLoop
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.migration import MigrationEngine
@@ -29,7 +46,12 @@ SETSLOT_NS = 2
 
 
 class TimerHook(Protocol):
-    """A profiler component driven by per-thread simulated timers."""
+    """A profiler component driven by per-thread simulated timers.
+
+    Hooks may additionally expose ``next_fire_ns(thread) -> int`` (an
+    absolute deadline in ns); the interpreter then skips per-op calls
+    until the thread's clock passes the deadline.
+    """
 
     def maybe_fire(self, thread: SimThread) -> None:
         """Fire if the thread's clock passed the component's next deadline."""
@@ -46,6 +68,8 @@ class Interpreter:
         *,
         barrier_parties: int | None = None,
         timeshare_nodes: bool = True,
+        events: EventLoop | None = None,
+        keep_event_trace: bool = False,
     ) -> None:
         if not threads:
             raise ValueError("interpreter needs at least one thread")
@@ -61,9 +85,15 @@ class Interpreter:
         #: non-preemptive user-level threading regime of Kaffe.  Off =
         #: one core per thread (an idealized SMP node).
         self.timeshare_nodes = timeshare_nodes
-        #: per-node core-busy cursor (ns) for the timesharing model.
-        self._node_cursor: dict[int, int] = {}
-        #: timer-driven profiler components, polled after every op.
+        #: the discrete-event kernel every scheduling decision runs through.
+        self.kernel = events if events is not None else EventLoop(keep_trace=keep_event_trace)
+        # Queued network sends deliver through the same kernel.
+        hlrc.network.attach_kernel(self.kernel)
+        #: per-node core schedules (timesharing model), owned by the nodes.
+        self._nodes = hlrc.cluster.nodes
+        #: thread ids with a SEGMENT_END / MIGRATION_CHECK event in flight.
+        self._scheduled: set[int] = set()
+        #: timer-driven profiler components (deadline API or per-op polled).
         self.timers: list[TimerHook] = []
         #: migration engine checks (thread_id -> pending), set by MigrationEngine.
         self.migration_engine: "MigrationEngine | None" = None
@@ -92,28 +122,119 @@ class Interpreter:
             thread.program = prog.compile_program(programs[thread.thread_id])
 
     def run(self) -> None:
-        """Execute every thread to completion."""
+        """Execute every thread to completion by draining the event kernel."""
         for thread in self.threads:
             if thread.program is None:
                 raise RuntimeError(f"thread {thread.thread_id} has no program attached")
             self.hlrc.open_interval(thread)
+        kernel = self.kernel
+        self._schedule_runnable()
         while True:
-            runnable = [t for t in self.threads if t.state is ThreadState.RUNNABLE]
-            if not runnable:
-                waiting = [
-                    t
-                    for t in self.threads
-                    if t.state in (ThreadState.WAITING_BARRIER, ThreadState.WAITING_LOCK)
-                ]
-                if waiting:
-                    raise RuntimeError(
-                        "deadlock: threads "
-                        f"{sorted(t.thread_id for t in waiting)} wait on "
-                        "synchronization no one else will complete"
-                    )
-                return  # all DONE
-            thread = min(runnable, key=lambda t: t.clock.now_ns)
-            self._run_until_sync(thread)
+            event = kernel.pop()
+            if event is None:
+                break
+            callback = event.callback
+            if callback is not None:
+                callback(event)
+        waiting = [
+            t
+            for t in self.threads
+            if t.state in (ThreadState.WAITING_BARRIER, ThreadState.WAITING_LOCK)
+        ]
+        if waiting:
+            raise RuntimeError(
+                "deadlock: threads "
+                f"{sorted(t.thread_id for t in waiting)} wait on "
+                "synchronization no one else will complete"
+            )
+
+    # -- event producers / consumers -----------------------------------
+
+    def _schedule_runnable(self) -> None:
+        """Give every runnable thread without an in-flight event its
+        SEGMENT_END.
+
+        Scanning ``self.threads`` in table order makes equal-time events
+        pop in thread order — the legacy scheduler's tie-break rule.
+        The event is stamped with the time the thread became runnable
+        (its clock), which is the key the legacy loop minimized over.
+        """
+        kernel = self.kernel
+        scheduled = self._scheduled
+        callback = self._on_segment_end
+        for thread in self.threads:
+            if thread.state is ThreadState.RUNNABLE and thread.thread_id not in scheduled:
+                scheduled.add(thread.thread_id)
+                kernel.schedule(
+                    EventKind.SEGMENT_END,
+                    thread.clock.now_ns,
+                    actor=thread.thread_id,
+                    callback=callback,
+                )
+
+    def _on_segment_end(self, event: Event) -> None:
+        """Dispatch a thread's segment: run it to its next scheduling
+        point, then schedule successor events."""
+        tid = event.actor
+        self._scheduled.discard(tid)
+        thread = self.threads_by_id[tid]
+        if thread.state is not ThreadState.RUNNABLE:  # pragma: no cover - guard
+            return
+        self._run_until_sync(thread)
+        self._chain_migration_then_schedule(thread)
+
+    def _chain_migration_then_schedule(self, thread: SimThread) -> None:
+        """Epilogue of a segment (or barrier release): chain a
+        MIGRATION_CHECK ahead of the thread's next segment when a plan is
+        pending, then top up SEGMENT_END events for every runnable thread."""
+        mig = self.migration_engine
+        if (
+            mig is not None
+            and thread.state is ThreadState.RUNNABLE
+            and mig.has_pending(thread.thread_id)
+        ):
+            self._scheduled.add(thread.thread_id)
+            self.kernel.schedule(
+                EventKind.MIGRATION_CHECK,
+                thread.clock.now_ns,
+                actor=thread.thread_id,
+                callback=self._on_migration_check,
+            )
+        self._schedule_runnable()
+
+    def _on_migration_check(self, event: Event) -> None:
+        """Evaluate a pending migration plan at a scheduling point."""
+        tid = event.actor
+        self._scheduled.discard(tid)
+        thread = self.threads_by_id[tid]
+        mig = self.migration_engine
+        if mig is not None and thread.state is ThreadState.RUNNABLE:
+            result = mig.maybe_migrate(thread)
+            if result is not None and self.timeshare_nodes:
+                # The handoff occupied the (destination) core, exactly as
+                # the legacy inline path charged it at segment end.
+                self._nodes[thread.node_id].core.occupy_until(thread.clock.now_ns)
+        self._schedule_runnable()
+
+    def _on_barrier_release(self, event: Event) -> None:
+        """Complete a barrier episode: release, wake waiters, and run the
+        last arriver's post-synchronization hooks (legacy order)."""
+        barrier_id = event.actor
+        last = self.threads_by_id[event.data]
+        self.hlrc.barrier_release(self.threads_by_id, barrier_id)
+        for other in self.threads:
+            if (
+                other.state is ThreadState.WAITING_BARRIER
+                and other.waiting_barrier_id == barrier_id
+            ):
+                other.state = ThreadState.RUNNABLE
+                other.waiting_barrier_id = None
+        for timer in self.timers:
+            timer.maybe_fire(last)
+        if self.timeshare_nodes:
+            # The release processing ran on the last arriver's core.
+            self._nodes[last.node_id].core.occupy_until(last.clock.now_ns)
+        self._chain_migration_then_schedule(last)
 
     # ------------------------------------------------------------------
 
@@ -123,16 +244,14 @@ class Interpreter:
         if self.timeshare_nodes:
             # The node's core is busy until the cursor: the thread's
             # segment cannot start earlier.
-            thread.clock.advance_to(self._node_cursor.get(thread.node_id, 0))
+            thread.clock.advance_to(self._nodes[thread.node_id].core.busy_until_ns)
         try:
             self._run_segment(thread)
         finally:
             if self.timeshare_nodes:
                 # The segment occupied the core (a migration mid-segment
                 # charges the remainder to the destination node).
-                node = thread.node_id
-                cursor = self._node_cursor.get(node, 0)
-                self._node_cursor[node] = max(cursor, thread.clock.now_ns)
+                self._nodes[thread.node_id].core.occupy_until(thread.clock.now_ns)
 
     def _run_segment(self, thread: SimThread) -> None:
         """Execute ops until the next scheduling point.
@@ -142,7 +261,9 @@ class Interpreter:
         into the compiled program (incremented before an op executes, as
         before), READ/WRITE/COMPUTE are inlined, synchronization ops go
         through a per-opcode dispatch table, and the timer/migration
-        poll is skipped entirely unless such hooks are attached.
+        poll is skipped entirely unless such hooks are attached.  Timers
+        that expose the ``next_fire_ns`` deadline API cost one integer
+        compare per op; hooks without it are polled per op as before.
         """
         program = thread.program
         assert program is not None
@@ -166,8 +287,20 @@ class Interpreter:
         timers = self.timers
         mig = self.migration_engine
         mig_pending = mig._pending if mig is not None else None
-        poll_hooks = bool(timers) or mig is not None
         tid = thread.thread_id
+        # Deadline fast path: engaged only when every attached timer
+        # exposes next_fire_ns — a plain hook must keep its legacy
+        # every-op polling contract.
+        deadline_mode = False
+        next_deadline = 0
+        if timers:
+            deadline_mode = all(hasattr(t, "next_fire_ns") for t in timers)
+            if deadline_mode:
+                next_deadline = min(t.next_fire_ns(thread) for t in timers)
+        poll_timers = bool(timers) and not deadline_mode
+        poll_hooks = poll_timers or deadline_mode or mig is not None
+        record = self.kernel.record
+        timer_fire = EventKind.TIMER_FIRE
         start_i = i
         try:
             # ``thread.pc`` is only observed at scheduling points (sync
@@ -208,19 +341,30 @@ class Interpreter:
                     clock._now_ns += SETSLOT_NS
                 elif code <= prog.OP_BARRIER:  # ACQUIRE / RELEASE / BARRIER
                     thread.pc = i
-                    if sync_dispatch[code](thread, op) and poll_hooks:
-                        for timer in timers:
-                            timer.maybe_fire(thread)
-                        if mig_pending and tid in mig_pending:
-                            mig.maybe_migrate(thread)
+                    if sync_dispatch[code](thread, op):
+                        if poll_timers:
+                            for timer in timers:
+                                timer.maybe_fire(thread)
+                        elif deadline_mode and clock._now_ns >= next_deadline:
+                            for timer in timers:
+                                timer.maybe_fire(thread)
+                            if next_deadline > 0:
+                                record(timer_fire, clock._now_ns, tid)
                     return  # yield so sync ordering tracks simulated time
                 else:
                     thread.pc = i
                     raise ValueError(f"unknown opcode {code} at pc {i}")
                 if poll_hooks:
                     thread.pc = i
-                    for timer in timers:
-                        timer.maybe_fire(thread)
+                    if poll_timers:
+                        for timer in timers:
+                            timer.maybe_fire(thread)
+                    elif deadline_mode and clock._now_ns >= next_deadline:
+                        for timer in timers:
+                            timer.maybe_fire(thread)
+                        if next_deadline > 0:
+                            record(timer_fire, clock._now_ns, tid)
+                        next_deadline = min(t.next_fire_ns(thread) for t in timers)
                     if mig_pending and tid in mig_pending:
                         mig.maybe_migrate(thread)
         finally:
@@ -251,19 +395,20 @@ class Interpreter:
 
     def _do_barrier(self, thread: SimThread, op: tuple) -> bool:
         barrier_id = op[1]
-        if not self.hlrc.barrier_arrive(thread, barrier_id, self.parties):
-            thread.state = ThreadState.WAITING_BARRIER
-            thread.waiting_barrier_id = barrier_id
-            return False
-        self.hlrc.barrier_release(self.threads_by_id, barrier_id)
-        for other in self.threads:
-            if (
-                other.state is ThreadState.WAITING_BARRIER
-                and other.waiting_barrier_id == barrier_id
-            ):
-                other.state = ThreadState.RUNNABLE
-                other.waiting_barrier_id = None
-        return True
+        last = self.hlrc.barrier_arrive(thread, barrier_id, self.parties)
+        # Every participant parks — the last arriver too; the episode
+        # completes when its BARRIER_RELEASE event dispatches.
+        thread.state = ThreadState.WAITING_BARRIER
+        thread.waiting_barrier_id = barrier_id
+        if last:
+            self.kernel.schedule(
+                EventKind.BARRIER_RELEASE,
+                thread.clock.now_ns,
+                actor=barrier_id,
+                data=thread.thread_id,
+                callback=self._on_barrier_release,
+            )
+        return False
 
     def _post_op(self, thread: SimThread, timers, mig) -> None:
         """Poll timer hooks and pending migrations after one op.

@@ -29,6 +29,7 @@ class Cluster:
             raise ValueError(f"master_id {master_id} out of range for {n_nodes} nodes")
         self.nodes = [Node(i) for i in range(n_nodes)]
         self.network = network if network is not None else Network()
+        self.network.bind_cluster(n_nodes)
         self.costs = costs if costs is not None else CostModel.gideon300()
         self.master_id = master_id
 

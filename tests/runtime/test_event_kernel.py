@@ -1,0 +1,131 @@
+"""Event-kernel integration tests: trace determinism, event-driven
+barriers/migrations/timers, and partial-party barriers."""
+
+from repro.core.profiler import ProfilerSuite
+from repro.core.stack_sampler import StackSampler
+from repro.runtime import program as P
+from repro.runtime.djvm import DJVM
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.migration import MigrationPlan
+from repro.sim.costs import CostModel
+
+from tests.conftest import simple_class, wrap_main
+
+FAST = CostModel.fast_test()
+
+
+def contended_workload(*, correlation: bool = False):
+    """A 3-node, 3-thread run with real cross-node sharing, lock
+    contention and two barrier rounds; returns (djvm, result, tcm)."""
+    djvm = DJVM(n_nodes=3, costs=FAST, keep_event_trace=True)
+    cls = simple_class(djvm, "Obj", 128)
+    objs = [djvm.allocate(cls, i % 3) for i in range(9)]
+    for i in range(3):
+        djvm.spawn_thread(i)
+    suite = None
+    if correlation:
+        suite = ProfilerSuite(djvm, correlation=True, send_oals=True)
+        suite.set_rate_all("full")
+    programs = {}
+    for t in range(3):
+        ops = []
+        for rnd in range(2):
+            for o in objs[t::3]:
+                ops.append(P.read(o.obj_id))
+            ops.append(P.write(objs[(t + rnd) % len(objs)].obj_id))
+            ops.append(P.acquire(0))
+            ops.append(P.compute(5_000))
+            ops.append(P.release(0))
+            ops.append(P.barrier(rnd))
+        programs[t] = wrap_main(ops)
+    result = djvm.run(programs)
+    tcm = suite.collector.tcm() if suite is not None else None
+    return djvm, result, tcm
+
+
+class TestTraceDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        """Same workload twice: byte-identical event trace, protocol
+        counters, traffic, and final clocks."""
+        djvm1, res1, _ = contended_workload()
+        djvm2, res2, _ = contended_workload()
+        assert djvm1.event_trace  # non-empty
+        assert djvm1.event_trace == djvm2.event_trace
+        assert res1.counters == res2.counters
+        assert res1.thread_finish_ms == res2.thread_finish_ms
+        assert res1.traffic.total_bytes == res2.traffic.total_bytes
+
+    def test_identical_runs_produce_identical_tcms(self):
+        _, res1, tcm1 = contended_workload(correlation=True)
+        _, res2, tcm2 = contended_workload(correlation=True)
+        assert tcm1 is not None and tcm1.sum() > 0
+        assert tcm1.tobytes() == tcm2.tobytes()
+        assert res1.counters == res2.counters
+
+    def test_trace_contains_expected_event_kinds(self):
+        djvm, _, _ = contended_workload()
+        kinds = {kind for _, kind, _ in djvm.event_trace}
+        # Two barrier rounds -> two BARRIER_RELEASE dispatches.
+        assert kinds >= {"SEGMENT_END", "BARRIER_RELEASE"}
+        releases = [e for e in djvm.event_trace if e[1] == "BARRIER_RELEASE"]
+        assert len(releases) == 2
+
+    def test_trace_times_nondecreasing_over_heap_events(self):
+        djvm, _, _ = contended_workload()
+        heap_times = [t for t, kind, _ in djvm.event_trace if kind != "TIMER_FIRE"]
+        assert heap_times == sorted(heap_times)
+
+
+class TestEventDrivenSubsystems:
+    def test_scheduled_migration_appears_as_migration_check(self):
+        """A post-sync migration trigger routes through a MIGRATION_CHECK
+        event rather than an inline poll."""
+        djvm = DJVM(n_nodes=2, costs=FAST, keep_event_trace=True)
+        cls = simple_class(djvm)
+        obj = djvm.allocate(cls, 0)
+        djvm.spawn_thread(0)
+        djvm.migration.schedule(MigrationPlan(thread_id=0, target_node=1, at_interval=2))
+        djvm.run({0: wrap_main([P.read(obj.obj_id), P.barrier(0), P.read(obj.obj_id)])})
+        assert djvm.threads[0].node_id == 1
+        assert any(kind == "MIGRATION_CHECK" for _, kind, _ in djvm.event_trace)
+
+    def test_deadline_timer_fires_recorded_in_trace(self):
+        """Deadline-API timers (stack sampler) record TIMER_FIRE events
+        at the simulated instant they fire."""
+        djvm = DJVM(n_nodes=1, costs=FAST, keep_event_trace=True)
+        simple_class(djvm)
+        djvm.spawn_thread(0)
+        sampler = StackSampler(FAST, gap_ms=0.001)
+        djvm.add_timer(sampler)
+        djvm.run({0: wrap_main([P.compute(200_000) for _ in range(20)])})
+        assert sampler.samples_taken > 0
+        fires = [e for e in djvm.event_trace if e[1] == "TIMER_FIRE"]
+        assert len(fires) > 0
+
+
+class TestPartialBarrier:
+    def test_barrier_over_subset_of_threads(self):
+        """barrier_parties != len(threads): the two participants
+        rendezvous while the bystander runs to completion."""
+        djvm = DJVM(n_nodes=2, costs=FAST, keep_event_trace=True)
+        cls = simple_class(djvm)
+        obj = djvm.allocate(cls, 0)
+        for i in range(3):
+            djvm.spawn_thread(i % 2)
+        interp = Interpreter(
+            djvm.hlrc, djvm.threads, barrier_parties=2, keep_event_trace=True
+        )
+        interp.attach_programs(
+            {
+                0: wrap_main([P.barrier(0), P.read(obj.obj_id)]),
+                1: wrap_main([P.barrier(0)]),
+                2: wrap_main([P.read(obj.obj_id), P.compute(1_000)]),
+            }
+        )
+        interp.run()
+        barrier = djvm.hlrc.sync.barriers[0]
+        assert barrier.episodes == 1
+        assert barrier.waiting == {}
+        assert all(t.state.value == "done" for t in djvm.threads)
+        releases = [e for e in interp.kernel.trace if e[1] == "BARRIER_RELEASE"]
+        assert len(releases) == 1
