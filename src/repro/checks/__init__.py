@@ -1,0 +1,37 @@
+"""Determinism & protocol sanitizer toolchain.
+
+Two complementary machine-checked guards for the repo's correctness
+contract ("bit-identical simulated results"):
+
+* :mod:`repro.checks.simlint` — a static AST lint pass (stdlib ``ast``,
+  no third-party deps) with repo-specific rules (``SIM001``…``SIM008``)
+  that catch the classic ways determinism silently breaks: wall-clock
+  reads, unseeded global RNG, unordered ``set``/``dict.keys()``
+  iteration, ``id()``-based ordering, missing ``__slots__`` on hot-path
+  classes, mutable default arguments, stray ``heapq`` use outside the
+  event kernel, and environment reads inside the deterministic core.
+
+* :mod:`repro.checks.sanitizer` — an opt-in runtime protocol checker
+  (``DJVM(sanitize=True)``) that hooks HLRC/interpreter events and
+  asserts the paper's state-machine invariants (at-most-once OAL
+  logging, legal copy-state transitions, barrier party accounting,
+  event-kernel monotonicity, sticky-set membership), raising structured
+  :class:`~repro.checks.sanitizer.SanitizerViolation`\\ s with the
+  offending event trace.
+
+Both are wired into the ``make check`` gate via the
+``python -m repro.checks`` CLI (see :mod:`repro.checks.__main__`).
+"""
+
+from __future__ import annotations
+
+from repro.checks.sanitizer import ProtocolSanitizer, SanitizerViolation
+from repro.checks.simlint import Finding, check_paths, check_source
+
+__all__ = [
+    "Finding",
+    "ProtocolSanitizer",
+    "SanitizerViolation",
+    "check_paths",
+    "check_source",
+]

@@ -1,0 +1,73 @@
+"""``python -m repro.checks`` — the determinism check gate CLI.
+
+Subcommands:
+
+* ``lint [PATHS...]`` — run the simlint AST pass (default paths:
+  ``src tests benchmarks``); prints ``path:line:col: CODE message`` per
+  finding and exits non-zero when any undisabled finding remains.
+* ``sanitize`` — run the three tracked bench workloads at test scale
+  with ``DJVM(sanitize=True)``; exits non-zero on any
+  :class:`~repro.checks.sanitizer.SanitizerViolation`.
+* ``all`` (default) — both, lint first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.checks.simlint import check_paths
+
+DEFAULT_LINT_PATHS = ["src", "tests", "benchmarks"]
+
+
+def run_lint(paths: list[str] | None = None) -> int:
+    """Lint ``paths``; print findings; return a process exit code."""
+    paths = paths or DEFAULT_LINT_PATHS
+    findings = check_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"simlint: clean ({', '.join(paths)})")
+    return 0
+
+
+def run_sanitize() -> int:
+    """Run sanitizer-enabled bench workloads; return a process exit code."""
+    from repro.checks.sanitizer import SanitizerViolation
+    from repro.checks.sanitize_run import run_all
+
+    try:
+        report = run_all(verbose=True)
+    except SanitizerViolation as violation:
+        print(f"sanitizer: {violation}", file=sys.stderr)
+        return 1
+    total = sum(checks for _, checks, _ in report)
+    print(f"sanitizer: clean ({total} checks across {len(report)} workloads)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="Determinism lint + protocol sanitizer gate.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    lint = sub.add_parser("lint", help="run the simlint AST pass")
+    lint.add_argument("paths", nargs="*", default=None, help="files or directories")
+    sub.add_parser("sanitize", help="run sanitizer-enabled bench workloads")
+    sub.add_parser("all", help="lint then sanitize (default)")
+    args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        return run_lint(args.paths or None)
+    if args.command == "sanitize":
+        return run_sanitize()
+    code = run_lint(None)
+    return code or run_sanitize()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

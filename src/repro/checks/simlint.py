@@ -1,0 +1,564 @@
+"""simlint: the repo-specific determinism lint pass.
+
+The simulator's correctness contract is *bit-identical simulated
+results* across runs (TCM bytes, thread clocks, protocol counters, event
+traces).  Nothing in Python enforces that contract: a stray
+``time.time()``, an unseeded ``random`` call, or a ``for`` loop over a
+bare ``set`` can silently smuggle host-process state into simulated
+results and only show up weeks later as a flaky checksum.  simlint is a
+static AST pass (stdlib :mod:`ast`, no third-party dependencies) that
+rejects those patterns at ``make check`` time.
+
+Rule catalog
+------------
+
+========  ==============================================================
+SIM001    wall-clock read (``time.time()``, ``datetime.now()``, …)
+          inside the deterministic core (``repro/{sim,dsm,runtime,core}``)
+SIM002    global/unseeded RNG (module-level ``random.*``, numpy global
+          state, argument-less ``default_rng()``) in the deterministic core
+SIM003    iteration over an unordered container (``set`` literal/call,
+          ``.keys()``, set algebra, known set-valued names) without
+          ``sorted(...)`` in the deterministic core
+SIM004    ``id()``-based ordering/keying in the deterministic core
+SIM005    hot-path class without ``__slots__`` (configured hot modules)
+SIM006    mutable default argument (``def f(x=[])``) anywhere
+SIM007    direct ``heapq`` use outside ``repro/sim/events.py`` (all
+          scheduling must go through the event kernel)
+SIM008    environment read (``os.environ`` / ``os.getenv``) inside the
+          deterministic core (config must flow through constructors)
+========  ==============================================================
+
+Escape hatch: append ``# simlint: disable=SIM003`` (comma-separate for
+several codes, or ``disable=all``) to the offending line.  A disable on
+the line of a ``def``/``class`` statement covers that statement's
+header only, not the whole body — exemptions stay visibly local.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["Finding", "check_source", "check_file", "check_paths", "main", "RULES"]
+
+#: package subtrees forming the deterministic simulation core.
+DETERMINISTIC_PREFIXES = (
+    "repro/sim/",
+    "repro/dsm/",
+    "repro/runtime/",
+    "repro/core/",
+)
+
+#: modules whose classes sit on simulation hot paths (one instance per
+#: event / interval / object touch) and therefore must carry __slots__.
+HOT_MODULES = frozenset(
+    {
+        "repro/sim/events.py",
+        "repro/sim/clock.py",
+        "repro/runtime/thread.py",
+        "repro/runtime/stack.py",
+        "repro/dsm/states.py",
+        "repro/dsm/intervals.py",
+        "repro/heap/objects.py",
+        "repro/core/oal.py",
+        "repro/core/footprint.py",
+    }
+)
+
+#: the one module allowed to touch heapq directly (the event kernel).
+HEAPQ_HOME = "repro/sim/events.py"
+
+#: names that hold sets in this codebase; iterating them without
+#: sorted() feeds hash order into event scheduling / TCM accrual.
+KNOWN_SET_NAMES = frozenset(
+    {"written", "writers", "thread_ids", "phases", "pending", "sticky_ids", "live_refs"}
+)
+
+#: wall-clock call sites: (qualifier, attribute) pairs and bare names
+#: importable from the owning module.
+WALL_CLOCK_ATTRS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+WALL_CLOCK_FROM_IMPORTS = {
+    ("time", "time"),
+    ("time", "perf_counter"),
+    ("time", "monotonic"),
+    ("time", "process_time"),
+}
+
+#: numpy.random attributes that are legal (seeded, explicit-generator).
+NUMPY_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "BitGenerator"}
+
+#: base classes that exempt a class from SIM005 (no per-instance dict
+#: concern, or slots handled by the metaclass/typing machinery).
+SLOTLESS_BASES = {
+    "Protocol",
+    "NamedTuple",
+    "Enum",
+    "IntEnum",
+    "StrEnum",
+    "Flag",
+    "IntFlag",
+    "Exception",
+    "TypedDict",
+    "ABC",
+}
+
+_DISABLE_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding: where, which rule, and why."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``path:line:col: CODE message`` report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+#: code -> one-line rule summary (the catalog the CLI prints).
+RULES: dict[str, str] = {
+    "SIM001": "wall-clock read in the deterministic core",
+    "SIM002": "global/unseeded RNG in the deterministic core",
+    "SIM003": "iteration over an unordered set/dict-keys container without sorted()",
+    "SIM004": "id()-based ordering or keying in the deterministic core",
+    "SIM005": "hot-path class without __slots__",
+    "SIM006": "mutable default argument",
+    "SIM007": "direct heapq use outside the event kernel (repro/sim/events.py)",
+    "SIM008": "environment read inside the deterministic core",
+}
+
+
+# ---------------------------------------------------------------------------
+# path scoping
+# ---------------------------------------------------------------------------
+
+
+def module_path(path: str) -> str:
+    """Normalize a file path to its ``repro/...`` module path (or the
+    posix-normalized path itself when outside the package)."""
+    norm = Path(path).as_posix()
+    for marker in ("/repro/", "repro/"):
+        idx = norm.find(marker)
+        if idx >= 0:
+            return norm[idx + len(marker) - len("repro/") :]
+    return norm
+
+
+def _is_deterministic(mod: str) -> bool:
+    return any(mod.startswith(p) for p in DETERMINISTIC_PREFIXES)
+
+
+def _is_test_or_bench(path: str) -> bool:
+    norm = "/" + Path(path).as_posix()
+    return "/tests/" in norm or "/benchmarks/" in norm or norm.endswith("conftest.py")
+
+
+# ---------------------------------------------------------------------------
+# disable comments
+# ---------------------------------------------------------------------------
+
+
+def _disabled_lines(source: str) -> dict[int, set[str]]:
+    """line number -> set of disabled codes (``{"all"}`` disables all)."""
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _DISABLE_RE.search(text)
+        if m:
+            codes = {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+            codes = {"ALL" if c == "ALL" else c for c in codes}
+            out[lineno] = codes
+    return out
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty list for non-chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """The rightmost identifier of a Name/Attribute, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+class _Checker(ast.NodeVisitor):
+    """One-file rule dispatcher."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.mod = module_path(path)
+        self.testish = _is_test_or_bench(path)
+        self.deterministic = not self.testish and _is_deterministic(self.mod)
+        self.hot_module = not self.testish and self.mod in HOT_MODULES
+        self.disabled = _disabled_lines(source)
+        self.findings: list[Finding] = []
+        #: names bound by ``from time import ...`` that read the wall clock.
+        self._wall_clock_names: set[str] = set()
+        #: local aliases of the numpy module ("np", "numpy", ...).
+        self._numpy_aliases: set[str] = set()
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        codes = self.disabled.get(line, ())
+        if code in codes or "ALL" in codes:
+            return
+        self.findings.append(
+            Finding(self.path, line, getattr(node, "col_offset", 0), code, message)
+        )
+
+    # -- imports (feed several rules) ----------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "heapq" and self.mod != HEAPQ_HOME and not self.testish:
+                self.report(
+                    node,
+                    "SIM007",
+                    "import heapq outside the event kernel; schedule through "
+                    "repro.sim.events.EventLoop instead",
+                )
+            if alias.name == "numpy":
+                self._numpy_aliases.add(alias.asname or "numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        for alias in node.names:
+            if mod == "heapq" and self.mod != HEAPQ_HOME and not self.testish:
+                self.report(
+                    node,
+                    "SIM007",
+                    f"from heapq import {alias.name} outside the event kernel; "
+                    "schedule through repro.sim.events.EventLoop instead",
+                )
+            if self.deterministic:
+                if (mod, alias.name) in WALL_CLOCK_FROM_IMPORTS:
+                    self._wall_clock_names.add(alias.asname or alias.name)
+                if mod == "random":
+                    self.report(
+                        node,
+                        "SIM002",
+                        f"from random import {alias.name}: module-level random "
+                        "state is process-global and unseeded; use "
+                        "repro.util.rng.seeded_rng or random.Random(seed)",
+                    )
+        self.generic_visit(node)
+
+    # -- calls (SIM001/SIM002/SIM004) ----------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if self.deterministic:
+            chain = _attr_chain(func)
+            if chain:
+                pair = (chain[-2], chain[-1]) if len(chain) >= 2 else None
+                # SIM001: wall-clock reads.
+                if pair in WALL_CLOCK_ATTRS:
+                    self.report(
+                        node,
+                        "SIM001",
+                        f"wall-clock read {'.'.join(chain)}() in the deterministic "
+                        "core; simulated time must come from SimClock/EventLoop",
+                    )
+                # SIM002: module-level random.* (random.Random(seed) is fine).
+                if (
+                    len(chain) == 2
+                    and chain[0] == "random"
+                    and chain[1] not in ("Random", "SystemRandom")
+                ):
+                    self.report(
+                        node,
+                        "SIM002",
+                        f"random.{chain[1]}() uses process-global RNG state; "
+                        "use repro.util.rng.seeded_rng or random.Random(seed)",
+                    )
+                # SIM002: numpy global-state RNG (np.random.seed/rand/...).
+                if (
+                    len(chain) >= 3
+                    and chain[0] in self._numpy_aliases
+                    and chain[1] == "random"
+                    and chain[2] not in NUMPY_RANDOM_OK
+                ):
+                    self.report(
+                        node,
+                        "SIM002",
+                        f"{'.'.join(chain)}() mutates numpy's global RNG state; "
+                        "use numpy.random.default_rng(seed)",
+                    )
+                # SIM002: default_rng() with no seed argument.
+                if chain[-1] == "default_rng" and not node.args and not node.keywords:
+                    self.report(
+                        node,
+                        "SIM002",
+                        "default_rng() without a seed draws OS entropy; pass an "
+                        "explicit seed",
+                    )
+            if isinstance(func, ast.Name):
+                if func.id in self._wall_clock_names:
+                    self.report(
+                        node,
+                        "SIM001",
+                        f"wall-clock read {func.id}() in the deterministic core; "
+                        "simulated time must come from SimClock/EventLoop",
+                    )
+                # SIM004: id()-based ordering/keying.
+                if func.id == "id" and len(node.args) == 1:
+                    self.report(
+                        node,
+                        "SIM004",
+                        "id() is allocation-order dependent and differs across "
+                        "runs; key/order by a stable field (obj_id, thread_id, seq)",
+                    )
+        self.generic_visit(node)
+
+    # -- attribute reads (SIM008) --------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.deterministic:
+            chain = _attr_chain(node)
+            if len(chain) >= 2 and chain[0] == "os" and chain[1] in ("environ", "getenv"):
+                self.report(
+                    node,
+                    "SIM008",
+                    f"os.{chain[1]} read in the deterministic core; configuration "
+                    "must flow through constructors so runs are reproducible",
+                )
+        self.generic_visit(node)
+
+    # -- iteration (SIM003) --------------------------------------------
+
+    def _unordered_reason(self, node: ast.AST) -> str | None:
+        """Why iterating ``node`` is hash-ordered, or None if it is not."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return f"a {node.func.id}() result"
+            attr = _terminal_name(node.func)
+            if attr == "keys":
+                return "dict.keys() (require sorted() or iterate the dict itself)"
+            if attr in ("union", "intersection", "difference", "symmetric_difference"):
+                return f"a set.{attr}() result"
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            left = self._unordered_reason(node.left)
+            right = self._unordered_reason(node.right)
+            if left or right:
+                return left or right
+            # Set algebra over known set names (written | writers).
+            if _terminal_name(node.left) in KNOWN_SET_NAMES or (
+                _terminal_name(node.right) in KNOWN_SET_NAMES
+            ):
+                return "set algebra over a known set-valued name"
+            return None
+        name = _terminal_name(node)
+        if name in KNOWN_SET_NAMES:
+            return f"'{name}', a known set-valued name in this codebase"
+        return None
+
+    def _check_iterable(self, iter_node: ast.AST, where: ast.AST) -> None:
+        if not self.deterministic:
+            return
+        # sorted(...)/list(sorted(...)) wrappers make the order explicit.
+        if isinstance(iter_node, ast.Call) and isinstance(iter_node.func, ast.Name):
+            if iter_node.func.id == "sorted":
+                return
+            if iter_node.func.id in ("list", "tuple", "enumerate", "reversed") and iter_node.args:
+                self._check_iterable(iter_node.args[0], where)
+                return
+        reason = self._unordered_reason(iter_node)
+        if reason:
+            self.report(
+                where,
+                "SIM003",
+                f"iterating {reason}: hash order can leak into event scheduling "
+                "or TCM accrual; wrap in sorted() or use an ordered container",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", ()):
+            self._check_iterable(gen.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    # -- classes (SIM005) ----------------------------------------------
+
+    @staticmethod
+    def _dataclass_slots(node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            if isinstance(deco, ast.Call) and _terminal_name(deco.func) == "dataclass":
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "slots"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _defines_slots(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for tgt in targets:
+                if isinstance(tgt, ast.Name) and tgt.id == "__slots__":
+                    return True
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.hot_module:
+            exempt = any(
+                (_terminal_name(base) or "") in SLOTLESS_BASES
+                or (_terminal_name(base) or "").endswith("Error")
+                or (_terminal_name(base) or "").endswith("Exception")
+                for base in node.bases
+            )
+            if not exempt and not self._defines_slots(node) and not self._dataclass_slots(node):
+                self.report(
+                    node,
+                    "SIM005",
+                    f"hot-path class {node.name} has no __slots__; instances are "
+                    "created per event/interval/object and per-instance dicts "
+                    "dominate their footprint",
+                )
+        self.generic_visit(node)
+
+    # -- function defs (SIM006) ----------------------------------------
+
+    @staticmethod
+    def _is_mutable_default(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("list", "dict", "set", "bytearray", "defaultdict", "deque")
+        return False
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+            if self._is_mutable_default(default):
+                self.report(
+                    default,
+                    "SIM006",
+                    f"mutable default argument in {node.name}(); the instance is "
+                    "shared across calls — default to None (or a tuple) and "
+                    "construct inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def check_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one source string as if it lived at ``path``."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(path, exc.lineno or 0, exc.offset or 0, "SIM000", f"syntax error: {exc.msg}")
+        ]
+    checker = _Checker(path, source)
+    checker.visit(tree)
+    return sorted(checker.findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def check_file(path: str | Path) -> list[Finding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return check_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files under them, sorted."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if "__pycache__" not in q.parts)
+        elif p.suffix == ".py":
+            yield p
+
+
+def check_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Lint every .py file under ``paths``."""
+    findings: list[Finding] = []
+    for p in iter_python_files(paths):
+        findings.extend(check_file(p))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI shim (the full CLI lives in ``repro.checks.__main__``)."""
+    from repro.checks.__main__ import main as cli_main
+
+    return cli_main(["lint"] + list(argv or []))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,6 +75,8 @@ class AccessProfiler:
         self.total_logged = 0
         self.total_batches = 0
         self.resample_passes = 0
+        #: opt-in protocol sanitizer; observes OAL appends (at-most-once).
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # rate changes
@@ -94,7 +96,8 @@ class AccessProfiler:
             return
         gos = getattr(self.collector, "gos", None)
         n_objects = 0
-        for class_id in pending:
+        # Sorted so the per-class registry walk is deterministic (SIM003).
+        for class_id in sorted(pending):
             if gos is not None:
                 jclass = gos.registry.by_id(class_id)
                 n_objects += len(gos.objects_of_class(jclass))
@@ -180,6 +183,10 @@ class AccessProfiler:
         # fully-sampled run.
         oal[obj_id] = _tuple_new(OALEntry, (obj_id, scaled, class_id))
         self.total_logged += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_oal_log(
+                thread, thread.current_interval.interval_id, obj_id
+            )
 
     def on_interval_close(
         self, thread, interval: IntervalRecord, sync_dst: int | None

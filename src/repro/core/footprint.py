@@ -32,7 +32,7 @@ from repro.sim.costs import CostModel
 NS_PER_MS = 1_000_000
 
 
-@dataclass
+@dataclass(slots=True)
 class _ObjStats:
     """Per-(thread, interval, object) tracking statistics."""
 
@@ -42,8 +42,12 @@ class _ObjStats:
     phases: set[int] = field(default_factory=set)
 
 
-class StickySetFootprinter:
-    """Protocol hook performing repeated sampled access tracking."""
+class StickySetFootprinter:  # simlint: disable=SIM005
+    """Protocol hook performing repeated sampled access tracking.
+
+    One instance per run, so the per-instance dict overhead SIM005 guards
+    against is irrelevant; the ``_gos = None`` class-level default is also
+    incompatible with ``__slots__`` — hence the targeted disable."""
 
     def __init__(
         self,

@@ -32,7 +32,7 @@ class OALEntry(NamedTuple):
     class_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class OALBatch:
     """One thread-interval's OAL plus its interval context."""
 

@@ -65,6 +65,7 @@ class ProfilerSuite:
         self.footprinter: StickySetFootprinter | None = None
         self.stack_sampler: StackSampler | None = None
 
+        sanitizer = getattr(djvm, "sanitizer", None)
         if correlation:
             self.access_profiler = AccessProfiler(
                 self.policy,
@@ -73,6 +74,8 @@ class ProfilerSuite:
                 send_oals=send_oals,
                 piggyback=piggyback,
             )
+            if sanitizer is not None:
+                self.access_profiler.sanitizer = sanitizer
             djvm.add_hook(self.access_profiler)
         if footprint:
             self.footprinter = StickySetFootprinter(
@@ -81,6 +84,8 @@ class ProfilerSuite:
                 timer_period_ms=footprint_timer_ms,
             )
             self.footprinter.attach_gos(djvm.gos)
+            if sanitizer is not None:
+                sanitizer.attach_footprinter(self.footprinter)
             if footprint_min_gap > 1:
                 for jclass in djvm.registry:
                     self.policy.set_min_gap(jclass, footprint_min_gap)

@@ -118,6 +118,11 @@ class HomeBasedLRC:
         # call it directly instead of the keyword fan-out.
         self._fast_src: ProtocolHooks | None = None
         self._fast_log = None
+        #: opt-in protocol invariant checker (repro.checks.sanitizer),
+        #: wired by ``DJVM(sanitize=True)``.  Sanitizer callbacks observe
+        #: only — they never advance simulated clocks — so results are
+        #: byte-identical with the sanitizer on.
+        self.sanitizer = None
         #: optional connectivity prefetcher consulted at fault time
         #: (anything with ``bundle_for(thread, obj) -> list[HeapObject]``).
         self.prefetcher = None
@@ -294,6 +299,10 @@ class HomeBasedLRC:
             summary.reads += repeat
         summary.last_ns = now
 
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_access(thread, obj_id, record, obj, faulted)
+
         hooks = self.hooks
         if not hooks:
             return
@@ -347,6 +356,8 @@ class HomeBasedLRC:
         )
         for hook in self.hooks:
             hook.on_interval_open(thread)
+        if self.sanitizer is not None:
+            self.sanitizer.on_interval_open(thread)
 
     def close_interval(self, thread, reason: str, sync_dst: int | None = None) -> IntervalRecord:
         """Close the thread's current interval: flush diffs, publish write
@@ -362,8 +373,12 @@ class HomeBasedLRC:
         cpu = thread.cpu
         notices = self.notices
         counters = self.counters
-        # Flush diffs for cache copies this thread wrote.
-        for obj_id in interval.written:
+        sanitizer = self.sanitizer
+        # Flush diffs for cache copies this thread wrote.  Sorted: the
+        # written set is hash-ordered, and diff/notice publication order
+        # feeds network sends and the global notice log — iteration
+        # order must not depend on interning accidents (SIM003).
+        for obj_id in sorted(interval.written):
             record: CopyRecord | None = copies.get(obj_id)
             obj = objects[obj_id]
             if record is None:
@@ -372,6 +387,8 @@ class HomeBasedLRC:
                 obj.home_version += 1
                 notices.append((obj_id, obj.home_version))
                 counters["notices"] += 1
+                if sanitizer is not None:
+                    sanitizer.on_notice(obj_id, obj.home_version)
                 continue
             if thread.thread_id not in record.writers:
                 continue
@@ -395,6 +412,8 @@ class HomeBasedLRC:
             notices.append((obj_id, obj.home_version))
             counters["diffs"] += 1
             counters["notices"] += 1
+            if sanitizer is not None:
+                sanitizer.on_notice(obj_id, obj.home_version)
 
         cpu.protocol_ns += costs.interval_close_ns
         clock._now_ns += costs.interval_close_ns
@@ -403,6 +422,8 @@ class HomeBasedLRC:
 
         for hook in self.hooks:
             hook.on_interval_close(thread, interval, sync_dst)
+        if sanitizer is not None:
+            sanitizer.on_interval_close(thread, interval)
 
         if self.keep_interval_history:
             self.interval_history.setdefault(thread.thread_id, []).append(interval)
@@ -546,7 +567,10 @@ class HomeBasedLRC:
         self.network.send(
             MessageKind.BARRIER, thread.node_id, self.cluster.master_id, BARRIER_MSG_BYTES, now
         )
-        return barrier.arrive(thread.thread_id, now)
+        last = barrier.arrive(thread.thread_id, now)
+        if self.sanitizer is not None:
+            self.sanitizer.on_barrier_arrive(barrier_id, thread.thread_id, parties, now)
+        return last
 
     def barrier_release(self, threads_by_id: dict[int, object], barrier_id: int) -> int:
         """Complete a barrier episode: align clocks, distribute write
@@ -576,3 +600,5 @@ class HomeBasedLRC:
             thread.cpu.network_wait_ns += thread.clock.now_ns - arrived_at
             self.apply_notices(thread)
             self.open_interval(thread)
+        if self.sanitizer is not None:
+            self.sanitizer.on_barrier_release(barrier_id, barrier.parties, waiters, release_ns)

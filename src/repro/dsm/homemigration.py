@@ -163,7 +163,8 @@ class DominantWriterPolicy:
         """ProtocolHooks: ``thread`` closed ``interval``."""
         node = thread.node_id
         gos = self.engine.hlrc.gos
-        for obj_id in interval.written:
+        # Sorted so window/event accrual order is deterministic (SIM003).
+        for obj_id in sorted(interval.written):
             window = self._recent.get(obj_id)
             if window is None:
                 window = deque(maxlen=self.min_writes)

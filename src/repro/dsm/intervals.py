@@ -33,7 +33,7 @@ class AccessSummary:
         return self.reads + self.writes
 
 
-@dataclass
+@dataclass(slots=True)
 class IntervalRecord:
     """One closed HLRC interval of one thread."""
 

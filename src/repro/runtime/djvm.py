@@ -69,6 +69,7 @@ class DJVM:
         keep_interval_history: bool = False,
         timeshare_nodes: bool = True,
         keep_event_trace: bool = False,
+        sanitize: bool = False,
     ) -> None:
         self.cluster = Cluster(
             n_nodes,
@@ -79,6 +80,17 @@ class DJVM:
         self.hlrc = HomeBasedLRC(
             self.gos, self.cluster, keep_interval_history=keep_interval_history
         )
+        #: opt-in runtime protocol checker (repro.checks): asserts the
+        #: HLRC state-machine invariants as the run executes, raising
+        #: SanitizerViolation with the offending event trace.  Pure
+        #: observer — simulated results are byte-identical either way.
+        self.sanitizer = None
+        if sanitize:
+            from repro.checks.sanitizer import ProtocolSanitizer
+
+            self.sanitizer = ProtocolSanitizer()
+            self.sanitizer.attach_hlrc(self.hlrc)
+            self.hlrc.sanitizer = self.sanitizer
         self.migration = MigrationEngine(self.hlrc, self.cluster)
         #: single-core nodes (paper hardware) when True; one core per
         #: thread when False.
@@ -191,6 +203,7 @@ class DJVM:
             self.threads,
             timeshare_nodes=self.timeshare_nodes,
             keep_event_trace=self.keep_event_trace,
+            sanitizer=self.sanitizer,
         )
         interp.timers = self.timers
         interp.migration_engine = self.migration
@@ -200,6 +213,9 @@ class DJVM:
         for thread in self.threads:
             if thread.state is not ThreadState.DONE:  # pragma: no cover - guard
                 raise RuntimeError(f"thread {thread.thread_id} did not finish")
+        if self.sanitizer is not None:
+            self.sanitizer.on_run_end(self.threads)
+            self.sanitizer.sweep_heaps()
         finish = {t.thread_id: t.clock.now_ms for t in self.threads}
         return RunResult(
             execution_time_ms=max(finish.values()),

@@ -70,9 +70,12 @@ class Interpreter:
         timeshare_nodes: bool = True,
         events: EventLoop | None = None,
         keep_event_trace: bool = False,
+        sanitizer=None,
     ) -> None:
         if not threads:
             raise ValueError("interpreter needs at least one thread")
+        #: opt-in protocol invariant checker (observes event pops).
+        self.sanitizer = sanitizer
         self.hlrc = hlrc
         self.threads = threads
         self.threads_by_id = {t.thread_id: t for t in threads}
@@ -128,11 +131,14 @@ class Interpreter:
                 raise RuntimeError(f"thread {thread.thread_id} has no program attached")
             self.hlrc.open_interval(thread)
         kernel = self.kernel
+        sanitizer = self.sanitizer
         self._schedule_runnable()
         while True:
             event = kernel.pop()
             if event is None:
                 break
+            if sanitizer is not None:
+                sanitizer.on_event_pop(kernel.now_ns, event)
             callback = event.callback
             if callback is not None:
                 callback(event)

@@ -146,6 +146,9 @@ class MigrationEngine:
         thread.node_id = target_node
         thread.migrations += 1
         self.results.append(result)
+        sanitizer = self.hlrc.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_migration(thread, result)
         return result
 
     def _prefetch(

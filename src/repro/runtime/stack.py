@@ -62,6 +62,8 @@ class Frame:
 class JavaStack:
     """A thread's Java stack; index 0 is the bottom (oldest) frame."""
 
+    __slots__ = ("_frames",)
+
     def __init__(self) -> None:
         self._frames: list[Frame] = []
 

@@ -1,0 +1,38 @@
+"""CLI surface of ``python -m repro.checks``."""
+
+from __future__ import annotations
+
+from repro.checks.__main__ import main, run_lint
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x=None):\n    return x\n")
+    assert run_lint([str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_finding_exits_nonzero(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    assert run_lint([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM006" in out and "dirty.py:1:" in out
+
+
+def test_main_lint_subcommand(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x={}):\n    return x\n")
+    assert main(["lint", str(dirty)]) == 1
+
+
+def test_main_lint_defaults_to_repo_tree():
+    assert main(["lint"]) == 0
+
+
+def test_simlint_module_entry(tmp_path):
+    from repro.checks.simlint import main as simlint_main
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    assert simlint_main([str(dirty)]) == 1

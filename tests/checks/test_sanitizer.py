@@ -1,0 +1,336 @@
+"""Protocol sanitizer tests: every invariant gets a deliberately
+corrupted protocol state asserting its violation code fires, plus
+clean-run and byte-identity guarantees."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.checks.sanitizer import INVARIANTS, ProtocolSanitizer, SanitizerViolation
+from repro.core.profiler import ProfilerSuite
+from repro.dsm.intervals import IntervalRecord
+from repro.dsm.states import CopyRecord, RealState
+from repro.runtime.djvm import DJVM
+from repro.runtime.migration import MigrationResult
+from repro.runtime.thread import SimThread
+from repro.workloads.sor import SORWorkload
+
+
+def make_thread(thread_id: int = 0, interval_id: int = 1) -> SimThread:
+    thread = SimThread(thread_id=thread_id, node_id=0)
+    thread.current_interval = IntervalRecord(thread_id, interval_id)
+    return thread
+
+
+def expect(code: str):
+    return pytest.raises(SanitizerViolation, match=code)
+
+
+# ---------------------------------------------------------------------------
+# SAN001: interval discipline
+# ---------------------------------------------------------------------------
+
+
+def test_san001_nested_open_via_engine():
+    djvm = DJVM(n_nodes=2, sanitize=True)
+    thread = djvm.spawn_thread(0)
+    djvm.hlrc.open_interval(thread)
+    with expect("SAN001"):
+        djvm.hlrc.open_interval(thread)
+
+
+def test_san001_close_without_open():
+    san = ProtocolSanitizer()
+    thread = make_thread()
+    with expect("SAN001"):
+        san.on_interval_close(thread, thread.current_interval)
+
+
+def test_san001_nonincreasing_interval_id():
+    san = ProtocolSanitizer()
+    thread = make_thread(interval_id=3)
+    san.on_interval_open(thread)
+    san.on_interval_close(thread, thread.current_interval)
+    thread.current_interval = IntervalRecord(0, 3)  # reused id
+    with expect("SAN001"):
+        san.on_interval_open(thread)
+
+
+def test_san001_open_at_run_end():
+    san = ProtocolSanitizer()
+    thread = make_thread()
+    san.on_interval_open(thread)
+    with expect("SAN001"):
+        san.on_run_end([thread])
+
+
+# ---------------------------------------------------------------------------
+# SAN002: at-most-once OAL logging
+# ---------------------------------------------------------------------------
+
+
+def test_san002_double_oal_log():
+    san = ProtocolSanitizer()
+    thread = make_thread()
+    san.on_interval_open(thread)
+    san.on_oal_log(thread, 1, obj_id=7)
+    with expect("SAN002"):
+        san.on_oal_log(thread, 1, obj_id=7)
+
+
+def test_san002_log_into_wrong_interval():
+    san = ProtocolSanitizer()
+    thread = make_thread()
+    san.on_interval_open(thread)
+    with expect("SAN002"):
+        san.on_oal_log(thread, 99, obj_id=7)
+
+
+# ---------------------------------------------------------------------------
+# SAN003: copy-state legality
+# ---------------------------------------------------------------------------
+
+
+def _djvm_with_object():
+    djvm = DJVM(n_nodes=2, sanitize=True)
+    jclass = djvm.define_class("X", instance_size=64)
+    obj = djvm.allocate(jclass, home_node=0)
+    return djvm, obj
+
+
+def test_san003_cache_copy_claiming_home():
+    djvm, obj = _djvm_with_object()
+    djvm.hlrc.heaps[1].copies[obj.obj_id] = CopyRecord(obj.obj_id, RealState.HOME)
+    with expect("SAN003"):
+        djvm.sanitizer.sweep_heaps()
+
+
+def test_san003_home_copy_invalidated():
+    djvm, obj = _djvm_with_object()
+    djvm.hlrc.heaps[0].copies[obj.obj_id] = CopyRecord(obj.obj_id, RealState.INVALID)
+    with expect("SAN003"):
+        djvm.sanitizer.sweep_heaps()
+
+
+def test_san003_spurious_invalidation():
+    djvm, obj = _djvm_with_object()
+    djvm.hlrc.heaps[1].copies[obj.obj_id] = CopyRecord(
+        obj.obj_id, RealState.INVALID, fetched_version=obj.home_version
+    )
+    with expect("SAN003"):
+        djvm.sanitizer.sweep_heaps()
+
+
+def test_san003_dirty_bytes_exceed_size():
+    djvm, obj = _djvm_with_object()
+    djvm.hlrc.heaps[1].copies[obj.obj_id] = CopyRecord(
+        obj.obj_id, RealState.VALID, dirty_bytes=obj.size_bytes + 1
+    )
+    with expect("SAN003"):
+        djvm.sanitizer.sweep_heaps()
+
+
+def test_san003_clean_sweep_counts_copies():
+    djvm, obj = _djvm_with_object()
+    djvm.hlrc.heaps[1].copies[obj.obj_id] = CopyRecord(
+        obj.obj_id, RealState.VALID, fetched_version=obj.home_version
+    )
+    assert djvm.sanitizer.sweep_heaps() >= 1
+
+
+# ---------------------------------------------------------------------------
+# SAN004: barrier accounting
+# ---------------------------------------------------------------------------
+
+
+def test_san004_double_arrival():
+    san = ProtocolSanitizer()
+    san.on_barrier_arrive(0, thread_id=1, parties=4, now_ns=10)
+    with expect("SAN004"):
+        san.on_barrier_arrive(0, thread_id=1, parties=4, now_ns=20)
+
+
+def test_san004_arrivals_exceed_parties():
+    san = ProtocolSanitizer()
+    san.on_barrier_arrive(0, thread_id=0, parties=1, now_ns=10)
+    with expect("SAN004"):
+        san.on_barrier_arrive(0, thread_id=1, parties=1, now_ns=20)
+
+
+def test_san004_over_release():
+    san = ProtocolSanitizer()
+    san.on_barrier_arrive(0, thread_id=0, parties=2, now_ns=10)
+    san.on_barrier_arrive(0, thread_id=1, parties=2, now_ns=20)
+    with expect("SAN004"):
+        san.on_barrier_release(0, parties=2, waiters=[0, 1, 1], release_ns=30)
+
+
+def test_san004_released_set_mismatch():
+    san = ProtocolSanitizer()
+    san.on_barrier_arrive(0, thread_id=0, parties=2, now_ns=10)
+    san.on_barrier_arrive(0, thread_id=1, parties=2, now_ns=20)
+    with expect("SAN004"):
+        san.on_barrier_release(0, parties=2, waiters=[0, 2], release_ns=30)
+
+
+# ---------------------------------------------------------------------------
+# SAN005: time monotonicity
+# ---------------------------------------------------------------------------
+
+
+def test_san005_kernel_clock_rewind():
+    san = ProtocolSanitizer()
+    san.on_event_pop(100, None)
+    with expect("SAN005"):
+        san.on_event_pop(50, None)
+
+
+def test_san005_release_before_last_arrival():
+    san = ProtocolSanitizer()
+    san.on_barrier_arrive(0, thread_id=0, parties=2, now_ns=10)
+    san.on_barrier_arrive(0, thread_id=1, parties=2, now_ns=500)
+    with expect("SAN005"):
+        san.on_barrier_release(0, parties=2, waiters=[0, 1], release_ns=400)
+
+
+# ---------------------------------------------------------------------------
+# SAN006: sticky-set membership
+# ---------------------------------------------------------------------------
+
+
+class _StubFootprinter:
+    def __init__(self, candidates):
+        self.interval_tracked = {}
+        self._candidates = candidates
+
+    def live_sticky_candidates(self, thread):
+        return list(self._candidates)
+
+
+def test_san006_stray_sticky_candidate():
+    san = ProtocolSanitizer()
+    san.attach_footprinter(_StubFootprinter([42]))
+    thread = make_thread()
+    result = MigrationResult(
+        thread_id=0, from_node=0, to_node=1, stack_slots=0, direct_cost_ns=0
+    )
+    with expect("SAN006"):
+        san.on_migration(thread, result)
+
+
+def test_san006_prefetched_copy_not_valid_at_target():
+    djvm, obj = _djvm_with_object()
+    thread = djvm.spawn_thread(0)
+    result = MigrationResult(
+        thread_id=0,
+        from_node=0,
+        to_node=1,
+        stack_slots=0,
+        direct_cost_ns=0,
+        prefetched_ids=[obj.obj_id],  # nothing was installed at node 1
+    )
+    with expect("SAN006"):
+        djvm.sanitizer.on_migration(thread, result)
+
+
+# ---------------------------------------------------------------------------
+# SAN007: write-notice discipline
+# ---------------------------------------------------------------------------
+
+
+def test_san007_notice_version_not_increasing():
+    san = ProtocolSanitizer()
+    san.on_notice(5, version=3)
+    with expect("SAN007"):
+        san.on_notice(5, version=3)
+
+
+def test_san007_written_object_missing_from_access_log():
+    san = ProtocolSanitizer()
+    thread = make_thread()
+    san.on_interval_open(thread)
+    thread.current_interval.written.add(9)  # never touched via access()
+    with expect("SAN007"):
+        san.on_interval_close(thread, thread.current_interval)
+
+
+# ---------------------------------------------------------------------------
+# violation structure
+# ---------------------------------------------------------------------------
+
+
+def test_violation_carries_code_and_trace():
+    san = ProtocolSanitizer()
+    san.on_event_pop(100, None)
+    san.on_barrier_arrive(3, thread_id=2, parties=4, now_ns=100)
+    try:
+        san.on_barrier_arrive(3, thread_id=2, parties=4, now_ns=110)
+    except SanitizerViolation as violation:
+        assert violation.code == "SAN004"
+        assert violation.trace  # ring buffer attached
+        assert "barrier_arrive b3 t2" in str(violation)
+        assert san.violations == 1
+    else:  # pragma: no cover
+        pytest.fail("expected SanitizerViolation")
+
+
+def test_invariant_catalog_complete():
+    assert set(INVARIANTS) == {f"SAN00{i}" for i in range(1, 8)}
+
+
+# ---------------------------------------------------------------------------
+# clean runs + byte-identity
+# ---------------------------------------------------------------------------
+
+
+def _profiled_run(*, sanitize: bool):
+    workload = SORWorkload(n=128, rounds=2, n_threads=4, seed=7)
+    djvm = DJVM(n_nodes=4, sanitize=sanitize)
+    workload.build(djvm, placement="round_robin")
+    suite = ProfilerSuite(djvm, correlation=True, footprint=True, stack=True)
+    suite.set_rate_all(4)
+    result = djvm.run(workload.programs())
+    return djvm, result, suite
+
+
+def _fingerprint(djvm, result, suite) -> tuple:
+    return (
+        hashlib.sha256(suite.tcm().tobytes()).hexdigest(),
+        result.execution_time_ms,
+        tuple(sorted(result.thread_finish_ms.items())),
+        tuple(sorted(djvm.hlrc.counters.items())),
+    )
+
+
+def test_sanitized_workload_run_is_clean():
+    djvm, _, _ = _profiled_run(sanitize=True)
+    assert djvm.sanitizer.violations == 0
+    assert djvm.sanitizer.checks_run > 1000  # really hooked in, not idle
+
+
+def test_sanitizer_does_not_perturb_results():
+    """TCM checksum, thread clocks and protocol counters must be
+    byte-identical with the sanitizer on and off."""
+    on = _fingerprint(*_profiled_run(sanitize=True))
+    off = _fingerprint(*_profiled_run(sanitize=False))
+    assert on == off
+
+
+def test_run_twice_byte_identity():
+    """Two identical runs produce bit-identical results — the contract
+    the simlint hazard fixes (sorted set iteration) protect."""
+    first = _fingerprint(*_profiled_run(sanitize=False))
+    second = _fingerprint(*_profiled_run(sanitize=False))
+    assert first == second
+
+
+def test_sanitized_migration_run_is_clean():
+    """The check-gate runner's migration path (SAN006 on real traffic)."""
+    from repro.checks.sanitize_run import run_workload
+
+    workload = SORWorkload(n=128, rounds=2, n_threads=4, seed=11)
+    _, sanitizer = run_workload(workload, migrate=True)
+    assert sanitizer.violations == 0
+    assert sanitizer.checks_run > 0

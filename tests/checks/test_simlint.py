@@ -1,0 +1,328 @@
+"""simlint rule fixtures: one positive (finding fires), one negative
+(clean code), and one disabled-by-comment case per rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks.simlint import RULES, check_paths, check_source
+
+#: a path inside the deterministic core (SIM001/2/3/4/8 scope).
+CORE = "src/repro/dsm/somefile.py"
+#: a path outside the deterministic core.
+OUTSIDE = "src/repro/analysis/somefile.py"
+#: a hot module (SIM005 scope).
+HOT = "src/repro/dsm/states.py"
+#: a test file (only SIM006 applies).
+TESTISH = "tests/core/test_somefile.py"
+
+
+def codes(source: str, path: str) -> list[str]:
+    return [f.code for f in check_source(source, path)]
+
+
+# ---------------------------------------------------------------------------
+# SIM001: wall-clock reads
+# ---------------------------------------------------------------------------
+
+
+def test_sim001_positive_module_attr():
+    src = "import time\n\ndef f():\n    return time.time()\n"
+    assert codes(src, CORE) == ["SIM001"]
+
+
+def test_sim001_positive_from_import():
+    src = "from time import perf_counter\n\ndef f():\n    return perf_counter()\n"
+    assert "SIM001" in codes(src, CORE)
+
+
+def test_sim001_negative_outside_core():
+    src = "import time\n\ndef f():\n    return time.time()\n"
+    assert codes(src, OUTSIDE) == []
+
+
+def test_sim001_negative_sim_clock():
+    src = "def f(clock):\n    return clock.now_ns\n"
+    assert codes(src, CORE) == []
+
+
+def test_sim001_disabled():
+    src = "import time\n\ndef f():\n    return time.time()  # simlint: disable=SIM001\n"
+    assert codes(src, CORE) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM002: global/unseeded RNG
+# ---------------------------------------------------------------------------
+
+
+def test_sim002_positive_module_random():
+    src = "import random\n\ndef f():\n    return random.random()\n"
+    assert codes(src, CORE) == ["SIM002"]
+
+
+def test_sim002_positive_from_random_import():
+    src = "from random import shuffle\n"
+    assert codes(src, CORE) == ["SIM002"]
+
+
+def test_sim002_positive_numpy_global():
+    src = "import numpy as np\n\ndef f():\n    np.random.seed(1)\n"
+    assert codes(src, CORE) == ["SIM002"]
+
+
+def test_sim002_positive_unseeded_default_rng():
+    src = "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+    assert codes(src, CORE) == ["SIM002"]
+
+
+def test_sim002_negative_seeded():
+    src = (
+        "import random\nimport numpy as np\n\n"
+        "def f(seed):\n"
+        "    return random.Random(seed), np.random.default_rng(seed)\n"
+    )
+    assert codes(src, CORE) == []
+
+
+def test_sim002_disabled():
+    src = "import random\n\ndef f():\n    return random.random()  # simlint: disable=SIM002\n"
+    assert codes(src, CORE) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM003: unordered iteration
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "loop",
+    [
+        "for x in {1, 2, 3}:\n    pass\n",
+        "for x in set(items):\n    pass\n",
+        "for k in d.keys():\n    pass\n",
+        "for o in interval.written:\n    pass\n",
+        "for o in a.union(b):\n    pass\n",
+        "out = [x for x in frozenset(items)]\n",
+    ],
+)
+def test_sim003_positive(loop):
+    src = "def f(items, d, interval, a, b):\n" + "".join(
+        "    " + line + "\n" for line in loop.splitlines()
+    )
+    assert "SIM003" in codes(src, CORE)
+
+
+def test_sim003_positive_set_algebra_known_name():
+    src = "def f(written, other):\n    for o in written | other:\n        pass\n"
+    assert codes(src, CORE) == ["SIM003"]
+
+
+@pytest.mark.parametrize(
+    "loop",
+    [
+        "for x in sorted({1, 2, 3}):\n    pass\n",
+        "for x in sorted(interval.written):\n    pass\n",
+        "for i, x in enumerate(sorted(written)):\n    pass\n",
+        "for x in items:\n    pass\n",
+        "for k in d:\n    pass\n",  # dicts preserve insertion order
+    ],
+)
+def test_sim003_negative(loop):
+    src = "def f(items, d, interval, written):\n" + "".join(
+        "    " + line + "\n" for line in loop.splitlines()
+    )
+    assert codes(src, CORE) == []
+
+
+def test_sim003_negative_outside_core():
+    src = "def f(written):\n    for o in written:\n        pass\n"
+    assert codes(src, OUTSIDE) == []
+
+
+def test_sim003_disabled():
+    src = (
+        "def f(written):\n"
+        "    for o in written:  # simlint: disable=SIM003\n"
+        "        pass\n"
+    )
+    assert codes(src, CORE) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM004: id()-based ordering
+# ---------------------------------------------------------------------------
+
+
+def test_sim004_positive():
+    src = "def f(objs):\n    return sorted(objs, key=lambda o: id(o))\n"
+    assert codes(src, CORE) == ["SIM004"]
+
+
+def test_sim004_negative_stable_field():
+    src = "def f(objs):\n    return sorted(objs, key=lambda o: o.obj_id)\n"
+    assert codes(src, CORE) == []
+
+
+def test_sim004_negative_outside_core():
+    src = "def f(o):\n    return id(o)\n"
+    assert codes(src, OUTSIDE) == []
+
+
+def test_sim004_disabled():
+    src = "def f(o):\n    return id(o)  # simlint: disable=SIM004\n"
+    assert codes(src, CORE) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM005: hot-path classes without __slots__
+# ---------------------------------------------------------------------------
+
+
+def test_sim005_positive():
+    src = "class Record:\n    def __init__(self):\n        self.x = 1\n"
+    assert codes(src, HOT) == ["SIM005"]
+
+
+def test_sim005_negative_slots():
+    src = "class Record:\n    __slots__ = ('x',)\n"
+    assert codes(src, HOT) == []
+
+
+def test_sim005_negative_dataclass_slots():
+    src = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass(slots=True)\nclass Record:\n    x: int = 0\n"
+    )
+    assert codes(src, HOT) == []
+
+
+def test_sim005_negative_exception_exempt():
+    src = "class ProtocolError(RuntimeError):\n    pass\n"
+    assert codes(src, HOT) == []
+
+
+def test_sim005_negative_cold_module():
+    src = "class Record:\n    def __init__(self):\n        self.x = 1\n"
+    assert codes(src, OUTSIDE) == []
+
+
+def test_sim005_disabled():
+    src = "class Record:  # simlint: disable=SIM005\n    def __init__(self):\n        self.x = 1\n"
+    assert codes(src, HOT) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM006: mutable default arguments (applies everywhere, tests included)
+# ---------------------------------------------------------------------------
+
+
+def test_sim006_positive_list_literal():
+    src = "def f(x=[]):\n    return x\n"
+    assert codes(src, TESTISH) == ["SIM006"]
+
+
+def test_sim006_positive_kwonly_dict_call():
+    src = "def f(*, cache=dict()):\n    return cache\n"
+    assert codes(src, CORE) == ["SIM006"]
+
+
+def test_sim006_negative_none_default():
+    src = "def f(x=None, y=(), z=0):\n    return x, y, z\n"
+    assert codes(src, CORE) == []
+
+
+def test_sim006_disabled():
+    src = "def f(x=[]):  # simlint: disable=SIM006\n    return x\n"
+    assert codes(src, TESTISH) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM007: heapq outside the event kernel
+# ---------------------------------------------------------------------------
+
+
+def test_sim007_positive_import():
+    src = "import heapq\n"
+    assert codes(src, CORE) == ["SIM007"]
+
+
+def test_sim007_positive_from_import():
+    src = "from heapq import heappush\n"
+    assert codes(src, OUTSIDE) == ["SIM007"]
+
+
+def test_sim007_negative_event_kernel():
+    src = "import heapq\n"
+    assert codes(src, "src/repro/sim/events.py") == []
+
+
+def test_sim007_negative_tests():
+    src = "import heapq\n"
+    assert codes(src, TESTISH) == []
+
+
+def test_sim007_disabled():
+    src = "import heapq  # simlint: disable=SIM007\n"
+    assert codes(src, CORE) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM008: environment reads in the deterministic core
+# ---------------------------------------------------------------------------
+
+
+def test_sim008_positive_environ():
+    src = "import os\n\ndef f():\n    return os.environ['SCALE']\n"
+    assert codes(src, CORE) == ["SIM008"]
+
+
+def test_sim008_positive_getenv():
+    src = "import os\n\ndef f():\n    return os.getenv('SCALE')\n"
+    assert "SIM008" in codes(src, CORE)
+
+
+def test_sim008_negative_outside_core():
+    src = "import os\n\ndef f():\n    return os.environ['SCALE']\n"
+    assert codes(src, OUTSIDE) == []
+
+
+def test_sim008_disabled():
+    src = "import os\n\ndef f():\n    return os.environ['SCALE']  # simlint: disable=SIM008\n"
+    assert codes(src, CORE) == []
+
+
+# ---------------------------------------------------------------------------
+# engine behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_disable_all():
+    src = "import heapq  # simlint: disable=all\n"
+    assert codes(src, CORE) == []
+
+
+def test_disable_several_codes():
+    src = "import time, heapq  # simlint: disable=SIM007, SIM001\n"
+    assert codes(src, CORE) == []
+
+
+def test_render_format():
+    findings = check_source("import heapq\n", CORE)
+    assert len(findings) == 1
+    rendered = findings[0].render()
+    assert rendered.startswith(f"{CORE}:1:0: SIM007 ")
+
+
+def test_syntax_error_reported_not_raised():
+    findings = check_source("def f(:\n", CORE)
+    assert [f.code for f in findings] == ["SIM000"]
+
+
+def test_every_rule_has_catalog_entry():
+    assert set(RULES) == {f"SIM00{i}" for i in range(1, 9)}
+
+
+def test_repo_tree_is_clean():
+    """The whole tree must lint clean — the make check gate relies on it."""
+    assert check_paths(["src", "tests", "benchmarks"]) == []
