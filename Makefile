@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint sanitize check bench bench-paper perf examples demo clean
+.PHONY: install test lint sanitize race check bench bench-paper perf examples demo clean
 
 install:
 	pip install -e .
@@ -24,13 +24,21 @@ lint:
 sanitize:
 	PYTHONPATH=src python -m repro.checks sanitize
 
+# Happens-before race gate: tracked workloads must report zero races,
+# the seeded racy synthetic must be caught, its locked twin must stay
+# silent.
+race:
+	PYTHONPATH=src python -m repro.checks race
+
 # The pre-merge gate: lint, tier-1 tests, sanitizer-enabled workloads,
-# plus the perf regression guard (wall-time within tolerance of
-# BENCH_perf.json, determinism checksums unchanged).  Does not rewrite
-# the committed baseline — use `make perf` for that.
+# the happens-before race gate, plus the perf regression guard
+# (wall-time within tolerance of BENCH_perf.json, determinism checksums
+# unchanged).  Does not rewrite the committed baseline — use
+# `make perf` for that.
 check: lint
 	PYTHONPATH=src python -m pytest tests/
 	PYTHONPATH=src python -m repro.checks sanitize
+	PYTHONPATH=src python -m repro.checks race
 	PYTHONPATH=src python benchmarks/perf_harness.py --repeats 3 --output /tmp/BENCH_perf.check.json
 	PYTHONPATH=src python benchmarks/check_regression.py BENCH_perf.json /tmp/BENCH_perf.check.json
 

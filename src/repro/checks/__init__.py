@@ -1,15 +1,15 @@
 """Determinism & protocol sanitizer toolchain.
 
-Two complementary machine-checked guards for the repo's correctness
+Three complementary machine-checked guards for the repo's correctness
 contract ("bit-identical simulated results"):
 
 * :mod:`repro.checks.simlint` — a static AST lint pass (stdlib ``ast``,
   no third-party deps) with repo-specific rules (``SIM001``…``SIM008``)
   that catch the classic ways determinism silently breaks: wall-clock
-  reads, unseeded global RNG, unordered ``set``/``dict.keys()``
-  iteration, ``id()``-based ordering, missing ``__slots__`` on hot-path
-  classes, mutable default arguments, stray ``heapq`` use outside the
-  event kernel, and environment reads inside the deterministic core.
+  reads, unseeded global RNG, unordered ``set``/dict-view iteration,
+  ``id()``-based ordering, missing ``__slots__`` on hot-path classes,
+  mutable default arguments, stray ``heapq`` use outside the event
+  kernel, and environment reads inside the deterministic core.
 
 * :mod:`repro.checks.sanitizer` — an opt-in runtime protocol checker
   (``DJVM(sanitize=True)``) that hooks HLRC/interpreter events and
@@ -19,19 +19,36 @@ contract ("bit-identical simulated results"):
   :class:`~repro.checks.sanitizer.SanitizerViolation`\\ s with the
   offending event trace.
 
-Both are wired into the ``make check`` gate via the
-``python -m repro.checks`` CLI (see :mod:`repro.checks.__main__`).
+* :mod:`repro.checks.racedetect` — an opt-in happens-before data race
+  detector (``DJVM(racecheck=...)``) over the global object space:
+  FastTrack-style vector clocks with release->acquire, barrier and
+  diff-propagation edges, online (raise/collect) and offline
+  (record + :func:`~repro.checks.racedetect.replay_trace`) analysis.
+
+All three are wired into the ``make check`` gate via the
+``python -m repro.checks`` CLI (see :mod:`repro.checks.__main__`);
+the shared workload harness lives in :mod:`repro.checks.runner`.
 """
 
 from __future__ import annotations
 
+from repro.checks.racedetect import (
+    DataRaceError,
+    RaceDetector,
+    RaceReport,
+    replay_trace,
+)
 from repro.checks.sanitizer import ProtocolSanitizer, SanitizerViolation
 from repro.checks.simlint import Finding, check_paths, check_source
 
 __all__ = [
+    "DataRaceError",
     "Finding",
     "ProtocolSanitizer",
+    "RaceDetector",
+    "RaceReport",
     "SanitizerViolation",
     "check_paths",
     "check_source",
+    "replay_trace",
 ]

@@ -8,7 +8,11 @@ Subcommands:
 * ``sanitize`` — run the three tracked bench workloads at test scale
   with ``DJVM(sanitize=True)``; exits non-zero on any
   :class:`~repro.checks.sanitizer.SanitizerViolation`.
-* ``all`` (default) — both, lint first.
+* ``race`` — run the tracked workloads plus the seeded racy/locked
+  synthetic pair with ``DJVM(racecheck="collect")``; exits non-zero
+  when a tracked (race-free) workload reports any race, or when the
+  seeded race in ``RacyCounterWorkload(locked=False)`` goes undetected.
+* ``all`` (default) — lint, then sanitize, then race.
 """
 
 from __future__ import annotations
@@ -36,16 +40,46 @@ def run_lint(paths: list[str] | None = None) -> int:
 
 def run_sanitize() -> int:
     """Run sanitizer-enabled bench workloads; return a process exit code."""
+    from repro.checks.runner import run_sanitize_all
     from repro.checks.sanitizer import SanitizerViolation
-    from repro.checks.sanitize_run import run_all
 
     try:
-        report = run_all(verbose=True)
+        report = run_sanitize_all(verbose=True)
     except SanitizerViolation as violation:
         print(f"sanitizer: {violation}", file=sys.stderr)
         return 1
     total = sum(checks for _, checks, _ in report)
     print(f"sanitizer: clean ({total} checks across {len(report)} workloads)")
+    return 0
+
+
+def run_race() -> int:
+    """Run the happens-before race gate; return a process exit code."""
+    from repro.checks.runner import run_race_all
+
+    report = run_race_all(verbose=True)
+    failures = []
+    checked = 0
+    for name, accesses, reports, expected_racy in report:
+        checked += accesses
+        if expected_racy:
+            if not reports:
+                failures.append(f"{name}: seeded race NOT detected")
+            else:
+                # Show the ground-truth positive with both access sites
+                # and the unordering evidence.
+                print(f"  seeded race detected in {name}:")
+                for line in reports[0].render().splitlines():
+                    print(f"    {line}")
+        elif reports:
+            failures.append(f"{name}: {len(reports)} unexpected race(s)")
+            for race in reports:
+                print(race.render(), file=sys.stderr)
+    if failures:
+        for failure in failures:
+            print(f"racecheck: {failure}", file=sys.stderr)
+        return 1
+    print(f"racecheck: clean ({checked} accesses across {len(report)} runs)")
     return 0
 
 
@@ -58,15 +92,19 @@ def main(argv: list[str] | None = None) -> int:
     lint = sub.add_parser("lint", help="run the simlint AST pass")
     lint.add_argument("paths", nargs="*", default=None, help="files or directories")
     sub.add_parser("sanitize", help="run sanitizer-enabled bench workloads")
-    sub.add_parser("all", help="lint then sanitize (default)")
+    sub.add_parser("race", help="run the happens-before race gate")
+    sub.add_parser("all", help="lint, sanitize, then race (default)")
     args = parser.parse_args(argv)
 
     if args.command == "lint":
         return run_lint(args.paths or None)
     if args.command == "sanitize":
         return run_sanitize()
+    if args.command == "race":
+        return run_race()
     code = run_lint(None)
-    return code or run_sanitize()
+    code = code or run_sanitize()
+    return code or run_race()
 
 
 if __name__ == "__main__":

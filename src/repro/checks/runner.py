@@ -1,0 +1,145 @@
+"""Shared checked-run harness for the runtime check gates.
+
+The ``sanitize`` and ``race`` subcommands of ``python -m repro.checks``
+exercise the same tracked bench workloads (SOR, Barnes-Hut,
+Water-Spatial) at the same small test scale — big enough to generate
+faults, diffs, barriers and OAL traffic on every node, small enough for
+CI.  This module owns that shared harness: workload construction, the
+profiler-suite attachment, and the optional mid-run migration that
+covers the sanitizer's sticky-set/prefetch invariant (SAN006).
+
+* :func:`run_checked` builds a DJVM with the requested checkers
+  attached, runs one workload, and returns ``(result, djvm)``.
+* :func:`run_sanitize_all` runs every tracked workload under the
+  protocol sanitizer (violations raise).
+* :func:`run_race_all` runs every tracked workload plus the seeded
+  racy/locked synthetic pair under the happens-before race detector
+  and returns the collected reports for the CLI to gate on.
+"""
+
+from __future__ import annotations
+
+from repro.core.profiler import ProfilerSuite
+from repro.runtime.djvm import DJVM, RunResult
+from repro.workloads.barnes_hut import BarnesHutWorkload
+from repro.workloads.sor import SORWorkload
+from repro.workloads.synthetic import RacyCounterWorkload
+from repro.workloads.water_spatial import WaterSpatialWorkload
+
+#: test-scale configuration shared by every check gate run.
+N_THREADS = 4
+N_NODES = 4
+
+
+def tracked_workloads():
+    """The three tracked bench workloads at check-gate scale."""
+    return [
+        ("SOR", SORWorkload(n=256, rounds=2, n_threads=N_THREADS, seed=11)),
+        ("Barnes-Hut", BarnesHutWorkload(n_bodies=192, rounds=2, n_threads=N_THREADS, seed=11)),
+        ("Water-Spatial", WaterSpatialWorkload(n_molecules=64, rounds=2, n_threads=N_THREADS, seed=11)),
+    ]
+
+
+def run_checked(
+    workload,
+    *,
+    sanitize: bool = False,
+    racecheck: bool | str = False,
+    migrate: bool = False,
+) -> tuple[RunResult, DJVM]:
+    """Execute one workload with the requested checkers attached.
+
+    The full profiler suite rides along (rate 4) so checker hooks see
+    realistic protocol + profiling traffic; ``migrate=True`` also queues
+    a mid-run prefetching migration of thread 0.  Returns the run result
+    and the spent DJVM (its ``sanitizer`` / ``racedetector`` carry the
+    check outcome).
+    """
+    djvm = DJVM(n_nodes=N_NODES, sanitize=sanitize, racecheck=racecheck)
+    workload.build(djvm, placement="round_robin")
+    suite = ProfilerSuite(djvm, correlation=True, footprint=True, stack=True)
+    suite.set_rate_all(4)
+    if migrate:
+        _schedule_migration(djvm, suite)
+    result = djvm.run(workload.programs())
+    return result, djvm
+
+
+def _schedule_migration(djvm: DJVM, suite: ProfilerSuite) -> None:
+    """Queue a mid-run prefetching migration of thread 0 so the
+    sanitizer's sticky-set/prefetch invariant (SAN006) sees traffic."""
+    from repro.runtime.migration import MigrationPlan
+
+    thread = djvm.threads[0]
+    target = (thread.node_id + 1) % len(djvm.cluster)
+
+    def provider(t):
+        stats = suite.resolve_sticky_set(t, charge_cost=False)
+        return stats.selected
+
+    djvm.migration.schedule(
+        MigrationPlan(
+            thread_id=thread.thread_id,
+            target_node=target,
+            at_interval=2,
+            prefetch_provider=provider,
+        )
+    )
+
+
+def run_sanitize_all(*, verbose: bool = True) -> list[tuple[str, int, int]]:
+    """Run every tracked workload sanitized; returns
+    ``[(name, checks_run, violations), ...]``.  Violations raise."""
+    report = []
+    for name, workload in tracked_workloads():
+        _, djvm = run_checked(workload, sanitize=True, migrate=(name == "SOR"))
+        sanitizer = djvm.sanitizer
+        report.append((name, sanitizer.checks_run, sanitizer.violations))
+        if verbose:
+            print(
+                f"  sanitize {name:<14} {sanitizer.checks_run:>7} checks, "
+                f"{sanitizer.violations} violations"
+            )
+    return report
+
+
+def race_workloads():
+    """The race-gate run matrix: every tracked workload (expected
+    race-free) plus the seeded racy/locked synthetic pair (the racy
+    variant is the ground-truth positive the gate must catch)."""
+    entries = [(name, wl, False) for name, wl in tracked_workloads()]
+    entries.append(
+        (
+            "RacyCounter[racy]",
+            RacyCounterWorkload(n_threads=N_THREADS, locked=False, seed=11),
+            True,
+        )
+    )
+    entries.append(
+        (
+            "RacyCounter[locked]",
+            RacyCounterWorkload(n_threads=N_THREADS, locked=True, seed=11),
+            False,
+        )
+    )
+    return entries
+
+
+def run_race_all(*, verbose: bool = True) -> list[tuple[str, int, list, bool]]:
+    """Run the race-gate matrix under the happens-before detector.
+
+    Returns ``[(name, accesses_checked, reports, expected_racy), ...]``
+    — the CLI decides pass/fail (zero reports where ``expected_racy``
+    is False, at least one report on the shared counter where True).
+    """
+    out = []
+    for name, workload, expected in race_workloads():
+        _, djvm = run_checked(workload, racecheck="collect")
+        detector = djvm.racedetector
+        out.append((name, detector.accesses_checked, list(detector.reports), expected))
+        if verbose:
+            print(
+                f"  race     {name:<18} {detector.accesses_checked:>7} accesses, "
+                f"{len(detector.reports)} race(s)"
+            )
+    return out

@@ -1,83 +1,35 @@
-"""Sanitizer-enabled bench runs for the check gate.
+"""Sanitizer-enabled bench runs for the check gate (compat shim).
 
-Runs the three tracked workloads (SOR, Barnes-Hut, Water-Spatial) at
-small test scale with ``DJVM(sanitize=True)`` and the full profiler
-suite attached, so every HLRC/interpreter invariant the sanitizer knows
-about is exercised on realistic protocol traffic.  A migration with a
-resolved sticky-set prefetch is included on the SOR run to cover the
-SAN006 path.
-
-Any :class:`~repro.checks.sanitizer.SanitizerViolation` propagates out
-of :func:`run_workload` — the CLI turns that into a non-zero exit.
+The harness now lives in :mod:`repro.checks.runner`, shared between the
+``sanitize`` and ``race`` subcommands; this module keeps the original
+import surface (``run_workload``, ``run_all``, the scale constants)
+for existing callers and tests.
 """
 
 from __future__ import annotations
 
+from repro.checks.runner import (  # noqa: F401  (re-exported constants)
+    N_NODES,
+    N_THREADS,
+    run_checked,
+    run_sanitize_all,
+    tracked_workloads,
+)
 from repro.checks.sanitizer import ProtocolSanitizer
-from repro.core.profiler import ProfilerSuite
-from repro.runtime.djvm import DJVM, RunResult
-from repro.workloads.barnes_hut import BarnesHutWorkload
-from repro.workloads.sor import SORWorkload
-from repro.workloads.water_spatial import WaterSpatialWorkload
-
-#: test-scale configurations: big enough to generate faults, diffs,
-#: barriers and OAL traffic on every node, small enough for CI.
-N_THREADS = 4
-N_NODES = 4
+from repro.runtime.djvm import RunResult
 
 
 def _workloads():
-    return [
-        ("SOR", SORWorkload(n=256, rounds=2, n_threads=N_THREADS, seed=11)),
-        ("Barnes-Hut", BarnesHutWorkload(n_bodies=192, rounds=2, n_threads=N_THREADS, seed=11)),
-        ("Water-Spatial", WaterSpatialWorkload(n_molecules=64, rounds=2, n_threads=N_THREADS, seed=11)),
-    ]
+    return tracked_workloads()
 
 
 def run_workload(workload, *, migrate: bool = False) -> tuple[RunResult, ProtocolSanitizer]:
     """Execute one workload under the sanitizer; returns (result, sanitizer)."""
-    djvm = DJVM(n_nodes=N_NODES, sanitize=True)
-    workload.build(djvm, placement="round_robin")
-    suite = ProfilerSuite(djvm, correlation=True, footprint=True, stack=True)
-    suite.set_rate_all(4)
-    if migrate:
-        _schedule_migration(djvm, suite)
-    result = djvm.run(workload.programs())
+    result, djvm = run_checked(workload, sanitize=True, migrate=migrate)
     return result, djvm.sanitizer
-
-
-def _schedule_migration(djvm: DJVM, suite: ProfilerSuite) -> None:
-    """Queue a mid-run prefetching migration of thread 0 so the
-    sanitizer's sticky-set/prefetch invariant (SAN006) sees traffic."""
-    from repro.runtime.migration import MigrationPlan
-
-    thread = djvm.threads[0]
-    target = (thread.node_id + 1) % len(djvm.cluster)
-
-    def provider(t):
-        stats = suite.resolve_sticky_set(t, charge_cost=False)
-        return stats.selected
-
-    djvm.migration.schedule(
-        MigrationPlan(
-            thread_id=thread.thread_id,
-            target_node=target,
-            at_interval=2,
-            prefetch_provider=provider,
-        )
-    )
 
 
 def run_all(*, verbose: bool = True) -> list[tuple[str, int, int]]:
     """Run every tracked workload sanitized; returns
     ``[(name, checks_run, violations), ...]``.  Violations raise."""
-    report = []
-    for name, workload in _workloads():
-        _, sanitizer = run_workload(workload, migrate=(name == "SOR"))
-        report.append((name, sanitizer.checks_run, sanitizer.violations))
-        if verbose:
-            print(
-                f"  sanitize {name:<14} {sanitizer.checks_run:>7} checks, "
-                f"{sanitizer.violations} violations"
-            )
-    return report
+    return run_sanitize_all(verbose=verbose)

@@ -17,9 +17,10 @@ SIM001    wall-clock read (``time.time()``, ``datetime.now()``, …)
           inside the deterministic core (``repro/{sim,dsm,runtime,core}``)
 SIM002    global/unseeded RNG (module-level ``random.*``, numpy global
           state, argument-less ``default_rng()``) in the deterministic core
-SIM003    iteration over an unordered container (``set`` literal/call,
-          ``.keys()``, set algebra, known set-valued names) without
-          ``sorted(...)`` in the deterministic core
+SIM003    iteration over a container without a canonical order (``set``
+          literal/call, ``.keys()``/``.values()``/``.items()``, set
+          algebra, known set-valued names) without ``sorted(...)`` in
+          the deterministic core
 SIM004    ``id()``-based ordering/keying in the deterministic core
 SIM005    hot-path class without ``__slots__`` (configured hot modules)
 SIM006    mutable default argument (``def f(x=[])``) anywhere
@@ -141,7 +142,7 @@ class Finding:
 RULES: dict[str, str] = {
     "SIM001": "wall-clock read in the deterministic core",
     "SIM002": "global/unseeded RNG in the deterministic core",
-    "SIM003": "iteration over an unordered set/dict-keys container without sorted()",
+    "SIM003": "iteration over a set or dict view without a canonical sorted() order",
     "SIM004": "id()-based ordering or keying in the deterministic core",
     "SIM005": "hot-path class without __slots__",
     "SIM006": "mutable default argument",
@@ -382,6 +383,16 @@ class _Checker(ast.NodeVisitor):
             attr = _terminal_name(node.func)
             if attr == "keys":
                 return "dict.keys() (require sorted() or iterate the dict itself)"
+            if attr in ("values", "items"):
+                # Dicts preserve insertion order, but insertion order is
+                # arrival history — two code paths that populate the same
+                # mapping differently iterate it differently.  The
+                # deterministic core requires a canonical order.
+                return (
+                    f"dict.{attr}() (insertion order is arrival history, not a "
+                    f"canonical order; iterate sorted({'d.items()' if attr == 'items' else 'd'})"
+                    " or justify with a disable)"
+                )
             if attr in ("union", "intersection", "difference", "symmetric_difference"):
                 return f"a set.{attr}() result"
             return None

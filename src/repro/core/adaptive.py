@@ -133,7 +133,7 @@ class PerClassRateController:
         """Digest one window's per-class maps; returns {class_id: new
         rate} for classes whose rate changed this window."""
         changes: dict[int, float] = {}
-        for class_id, tcm in class_tcms.items():
+        for class_id, tcm in sorted(class_tcms.items()):
             ctrl = self.controller_for(class_id)
             before = ctrl.rate
             after = ctrl.observe(tcm)
@@ -144,13 +144,13 @@ class PerClassRateController:
     @property
     def settled(self) -> bool:
         """True once every observed class has settled."""
-        return bool(self._controllers) and all(
+        return bool(self._controllers) and all(  # simlint: disable=SIM003 (pure all() predicate; order cannot leak)
             c.settled for c in self._controllers.values()
         )
 
     def rates(self) -> dict[int, float]:
         """Current rate per observed class."""
-        return {cid: c.rate for cid, c in self._controllers.items()}
+        return {cid: c.rate for cid, c in sorted(self._controllers.items())}
 
 
 class AdaptiveRateController:

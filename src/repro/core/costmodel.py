@@ -87,10 +87,10 @@ class MigrationCostModel:
                 MIGRATION_OVERHEAD_BYTES + stack_slots * SLOT_WIRE_BYTES
             )
         )
-        sticky_bytes = int(sum(max(0.0, b) for b in sticky_footprint.values()))
+        sticky_bytes = int(sum(max(0.0, b) for b in sticky_footprint.values()))  # simlint: disable=SIM003 (float sum; reordering perturbs rounding, insertion order is deterministic)
         n_objects = 0
         fault_ns = 0
-        for cname, b in sticky_footprint.items():
+        for cname, b in sorted(sticky_footprint.items()):
             if b <= 0:
                 continue
             size = None if object_sizes is None else object_sizes.get(cname)

@@ -80,7 +80,7 @@ class DistributedCorrelationCollector(CorrelationCollector):
                     frag = OALBatch(batch.thread_id, batch.interval_id)
                     split[owner] = frag
                 frag.entries.append(entry)
-            for owner, frag in split.items():
+            for owner, frag in sorted(split.items()):
                 per_owner_batches[owner].append(frag)
                 scatter_bytes[owner] += len(frag) * ENTRY_WIRE_BYTES
 

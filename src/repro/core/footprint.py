@@ -42,12 +42,23 @@ class _ObjStats:
     phases: set[int] = field(default_factory=set)
 
 
-class StickySetFootprinter:  # simlint: disable=SIM005
-    """Protocol hook performing repeated sampled access tracking.
+class StickySetFootprinter:
+    """Protocol hook performing repeated sampled access tracking."""
 
-    One instance per run, so the per-instance dict overhead SIM005 guards
-    against is irrelevant; the ``_gos = None`` class-level default is also
-    incompatible with ``__slots__`` — hence the targeted disable."""
+    __slots__ = (
+        "policy",
+        "costs",
+        "timer_period_ns",
+        "duty",
+        "min_accesses",
+        "enabled",
+        "_stats",
+        "_interval_start",
+        "interval_footprints",
+        "interval_tracked",
+        "tracked_accesses",
+        "_gos",
+    )
 
     def __init__(
         self,
@@ -84,6 +95,8 @@ class StickySetFootprinter:  # simlint: disable=SIM005
         #: candidates for resolution): thread_id -> list of sets.
         self.interval_tracked: dict[int, list[set[int]]] = {}
         self.tracked_accesses = 0
+        #: attached by the ProfilerSuite (needed to resolve object classes).
+        self._gos = None
 
     # ------------------------------------------------------------------
 
@@ -190,15 +203,12 @@ class StickySetFootprinter:  # simlint: disable=SIM005
                     "ProfilerSuite does this automatically)"
                 )
             return fp
-        for obj_id, entry in stats.items():
+        for obj_id, entry in stats.items():  # simlint: disable=SIM003 (float footprint accrual; stats follow the deterministic access-recording order)
             if entry.count < self.min_accesses and len(entry.phases) < 2:
                 continue
             obj = gos.get(obj_id)
             fp[obj.jclass.name] = fp.get(obj.jclass.name, 0) + self.policy.scaled_bytes(obj)
         return fp
-
-    #: attached by the ProfilerSuite (needed to resolve object classes).
-    _gos = None
 
     def attach_gos(self, gos) -> None:
         """Attach the global object space (needed to resolve classes)."""
@@ -215,7 +225,7 @@ class StickySetFootprinter:  # simlint: disable=SIM005
     def live_sticky_candidates(self, thread) -> list[int]:
         """Object ids currently qualifying as sticky in the open interval."""
         stats = self._stats.get(thread.thread_id, {})
-        return [
+        return [  # simlint: disable=SIM003 (result order must mirror the open interval's access-recording order)
             oid
             for oid, entry in stats.items()
             if entry.count >= self.min_accesses or len(entry.phases) >= 2

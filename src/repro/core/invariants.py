@@ -53,7 +53,7 @@ def mine_invariants(
         for frame_uid, method, slots in snap:
             appearances[frame_uid] += 1
             methods[frame_uid] = method
-            for slot, obj_id in slots.items():
+            for slot, obj_id in sorted(slots.items()):
                 values.setdefault((frame_uid, slot), set()).add(obj_id)
     out: list[InvariantRef] = []
     for (frame_uid, slot), seen in sorted(values.items()):
@@ -93,4 +93,4 @@ def stable_frames(snapshots: list[Snapshot], *, min_fraction: float = 0.5) -> se
     if not 0 < min_fraction <= 1:
         raise ValueError(f"min_fraction must be in (0, 1], got {min_fraction}")
     need = min_fraction * len(snapshots)
-    return {uid for uid, n in frame_lifetimes(snapshots).items() if n >= need}
+    return {uid for uid, n in frame_lifetimes(snapshots).items() if n >= need}  # simlint: disable=SIM003 (builds a set; iteration order cannot leak)

@@ -91,7 +91,7 @@ class PathProfile:
             return
         survivors = []
         for watch in watches:
-            hit = [i for i, target in watch.targets.items() if target == obj_id]
+            hit = [i for i, target in sorted(watch.targets.items()) if target == obj_id]
             for i in hit:
                 self.stats[(watch.class_id, i)].follows += 1
                 del watch.targets[i]

@@ -149,7 +149,7 @@ class ProfilerSuite:
             window = original()
             class_tcms = suite.collector.window_class_tcms[-1]
             changes = controller.observe(class_tcms)
-            for class_id, rate in changes.items():
+            for class_id, rate in sorted(changes.items()):
                 jclass = suite.djvm.registry.by_id(class_id)
                 if suite.policy.set_rate(jclass, rate) and suite.access_profiler:
                     suite.access_profiler.notify_rate_change(jclass)

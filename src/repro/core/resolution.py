@@ -67,7 +67,7 @@ def resolve_sticky_set(
     if tolerance <= 1:
         raise ValueError(f"tolerance must be > 1, got {tolerance}")
     stats = ResolutionStats()
-    budgets = {c: float(b) for c, b in footprint.items() if b > 0}
+    budgets = {c: float(b) for c, b in footprint.items() if b > 0}  # simlint: disable=SIM003 (budget order mirrors the caller's footprint accrual order the walk is calibrated against)
     if not budgets:
         return stats
     selected_set: set[int] = set()

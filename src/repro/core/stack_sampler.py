@@ -148,10 +148,10 @@ class StackSampler:
                     old.raw = False
                     self.frames_extracted += 1
                     # Non-reference slots are discarded at extraction.
-                    old.slots = {i: v for i, v in old.slots.items() if v is not None}
+                    old.slots = {i: v for i, v in old.slots.items() if v is not None}  # simlint: disable=SIM003 (hot path; slot dicts are keyed and built in slot-index order)
                 # COMPARE-BY-PROBING: probe old slots into the live frame.
                 walk_cost += len(old.slots) * costs.probe_ns_per_slot
-                dead = [
+                dead = [  # simlint: disable=SIM003 (hot path; slot dicts are keyed and built in slot-index order)
                     idx
                     for idx, ref in old.slots.items()
                     if idx >= len(first_visited.slots) or first_visited.slots[idx] != ref
@@ -173,7 +173,7 @@ class StackSampler:
             else:
                 # Immediate extraction: pay the full cost now.
                 walk_cost += len(snapshot) * costs.extract_ns_per_slot
-                refs = {i: v for i, v in snapshot.items() if v is not None}
+                refs = {i: v for i, v in snapshot.items() if v is not None}  # simlint: disable=SIM003 (hot path; snapshot is keyed and built in slot-index order)
                 samples[frame.frame_uid] = FrameSample(
                     frame.frame_uid, frame.method, raw=False, slots=refs
                 )

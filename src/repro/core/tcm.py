@@ -182,7 +182,7 @@ def accrual_pair_count(batches: Iterable[OALBatch]) -> int:
     for batch in batches:
         for entry in batch.entries:
             threads_per_obj.setdefault(entry.obj_id, set()).add(batch.thread_id)
-    return sum(len(ts) * len(ts) for ts in threads_per_obj.values())
+    return sum(len(ts) * len(ts) for ts in threads_per_obj.values())  # simlint: disable=SIM003 (integer sum; order cannot leak)
 
 
 @dataclass

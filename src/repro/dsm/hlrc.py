@@ -106,7 +106,7 @@ class HomeBasedLRC:
         # Hot-path aliases (the cost model is frozen and the heap/GOS
         # containers are mutated in place, never replaced).
         self._objects = gos._objects
-        self._copies_by_node = {nid: heap.copies for nid, heap in self.heaps.items()}
+        self._copies_by_node = {nid: heap.copies for nid, heap in sorted(self.heaps.items())}
         self._access_busy_ns = self.costs.state_check_ns + self.costs.access_ns
         #: global write-notice log: list of (obj_id, version).
         self.notices: list[tuple[int, int]] = []
@@ -123,6 +123,11 @@ class HomeBasedLRC:
         #: only — they never advance simulated clocks — so results are
         #: byte-identical with the sanitizer on.
         self.sanitizer = None
+        #: opt-in happens-before race detector (repro.checks.racedetect),
+        #: wired by ``DJVM(racecheck=...)``.  Same contract as the
+        #: sanitizer slot: observes only, never advances simulated
+        #: clocks, so results are byte-identical with the detector on.
+        self.racedetector = None
         #: optional connectivity prefetcher consulted at fault time
         #: (anything with ``bundle_for(thread, obj) -> list[HeapObject]``).
         self.prefetcher = None
@@ -302,6 +307,9 @@ class HomeBasedLRC:
         sanitizer = self.sanitizer
         if sanitizer is not None:
             sanitizer.on_access(thread, obj_id, record, obj, faulted)
+        racedetector = self.racedetector
+        if racedetector is not None:
+            racedetector.on_access(thread, obj_id, is_write)
 
         hooks = self.hooks
         if not hooks:
@@ -374,6 +382,7 @@ class HomeBasedLRC:
         notices = self.notices
         counters = self.counters
         sanitizer = self.sanitizer
+        racedetector = self.racedetector
         # Flush diffs for cache copies this thread wrote.  Sorted: the
         # written set is hash-ordered, and diff/notice publication order
         # feeds network sends and the global notice log — iteration
@@ -389,6 +398,8 @@ class HomeBasedLRC:
                 counters["notices"] += 1
                 if sanitizer is not None:
                     sanitizer.on_notice(obj_id, obj.home_version)
+                if racedetector is not None:
+                    racedetector.on_notice_publish(thread, obj_id, obj.home_version)
                 continue
             if thread.thread_id not in record.writers:
                 continue
@@ -414,6 +425,8 @@ class HomeBasedLRC:
             counters["notices"] += 1
             if sanitizer is not None:
                 sanitizer.on_notice(obj_id, obj.home_version)
+            if racedetector is not None:
+                racedetector.on_notice_publish(thread, obj_id, obj.home_version)
 
         cpu.protocol_ns += costs.interval_close_ns
         clock._now_ns += costs.interval_close_ns
@@ -438,6 +451,11 @@ class HomeBasedLRC:
         stale cache copies; returns the number of new notices consumed."""
         node_id = thread.node_id
         start = self._notice_seen[node_id]
+        if self.racedetector is not None:
+            # Diff-propagation edges flow even when no *new* notices are
+            # pending: diffs applied at the node earlier are visible to
+            # this thread too (node-shared cache copies).
+            self.racedetector.on_apply_notices(thread, start, len(self.notices))
         new = self.notices[start:]
         if not new:
             return 0
@@ -450,7 +468,7 @@ class HomeBasedLRC:
             # version, and invalidating against the newest version flips
             # exactly the copies the notice-ordered walk would.
             latest = dict(new)
-            for obj_id, record in copies.items():
+            for obj_id, record in copies.items():  # simlint: disable=SIM003 (hot path; per-record state flips are independent, order cannot leak)
                 if record.real_state is _VALID:
                     version = latest.get(obj_id)
                     if version is not None and record.fetched_version < version:
@@ -520,6 +538,9 @@ class HomeBasedLRC:
         thread.cpu.network_wait_ns += thread.clock.now_ns - before
         lock.holder = thread.thread_id
         lock.acquisitions += 1
+        if self.racedetector is not None:
+            # release->acquire edge: join the last releaser's clock.
+            self.racedetector.on_lock_acquire(thread, lock.lock_id)
         self.apply_notices(thread)
         self.open_interval(thread)
 
@@ -536,6 +557,10 @@ class HomeBasedLRC:
                 f"thread {thread.thread_id} released lock {lock_id} held by {lock.holder}"
             )
         self.close_interval(thread, "release", sync_dst=lock.manager_node)
+        if self.racedetector is not None:
+            # The interval's write notices were published with the
+            # pre-release clock; snapshot it on the lock, then advance.
+            self.racedetector.on_lock_release(thread, lock_id)
         thread.cpu.protocol_ns += costs.lock_local_ns
         thread.clock.advance(costs.lock_local_ns)
         now = thread.clock.now_ns
@@ -602,3 +627,8 @@ class HomeBasedLRC:
             self.open_interval(thread)
         if self.sanitizer is not None:
             self.sanitizer.on_barrier_release(barrier_id, barrier.parties, waiters, release_ns)
+        if self.racedetector is not None:
+            # Barrier edge: join every participant's clock; per-waiter
+            # diff-propagation joins already ran via apply_notices above.
+            self.racedetector.on_barrier_release(threads_by_id, barrier_id, waiters, release_ns)
+        return release_ns

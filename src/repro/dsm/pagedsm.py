@@ -101,4 +101,4 @@ class PageGrainTracker:
         sharing visible at page grain."""
         if not self.page_threads:
             return 0.0
-        return sum(len(ts) for ts in self.page_threads.values()) / len(self.page_threads)
+        return sum(len(ts) for ts in self.page_threads.values()) / len(self.page_threads)  # simlint: disable=SIM003 (integer sum; order cannot leak)

@@ -40,7 +40,7 @@ class RunResult:
     def total_cpu(self) -> CpuAccounting:
         """Aggregated CPU accounting across every thread."""
         total = CpuAccounting()
-        for cpu in self.thread_cpu.values():
+        for cpu in self.thread_cpu.values():  # simlint: disable=SIM003 (keyed by thread id and populated in thread-id order)
             total.merge(cpu)
         return total
 
@@ -70,6 +70,7 @@ class DJVM:
         timeshare_nodes: bool = True,
         keep_event_trace: bool = False,
         sanitize: bool = False,
+        racecheck: bool | str = False,
     ) -> None:
         self.cluster = Cluster(
             n_nodes,
@@ -91,6 +92,29 @@ class DJVM:
             self.sanitizer = ProtocolSanitizer()
             self.sanitizer.attach_hlrc(self.hlrc)
             self.hlrc.sanitizer = self.sanitizer
+        #: opt-in happens-before race detector (repro.checks.racedetect).
+        #: ``True``/"raise" raises DataRaceError at the second racing
+        #: access, "collect" accumulates RaceReports in
+        #: ``racedetector.reports``, "record" only records the race
+        #: operation trace (``race_trace``) for offline replay.  Pure
+        #: observer — simulated results are byte-identical either way.
+        self.racedetector = None
+        if racecheck:
+            from repro.checks.racedetect import RaceDetector
+
+            if racecheck is True or racecheck == "raise":
+                self.racedetector = RaceDetector(raise_on_race=True)
+            elif racecheck == "collect":
+                self.racedetector = RaceDetector()
+            elif racecheck == "record":
+                self.racedetector = RaceDetector(detect=False, keep_trace=True)
+            else:
+                raise ValueError(
+                    f"racecheck must be True, 'raise', 'collect' or 'record', "
+                    f"got {racecheck!r}"
+                )
+            self.racedetector.attach_resolver(self._class_name_of)
+            self.hlrc.racedetector = self.racedetector
         self.migration = MigrationEngine(self.hlrc, self.cluster)
         #: single-core nodes (paper hardware) when True; one core per
         #: thread when False.
@@ -109,6 +133,10 @@ class DJVM:
     def costs(self) -> CostModel:
         """The cluster's CPU cost model."""
         return self.cluster.costs
+
+    def _class_name_of(self, obj_id: int) -> str:
+        """Class name of one GOS object (race-report resolver)."""
+        return self.gos.get(obj_id).jclass.name
 
     @property
     def registry(self):
@@ -183,6 +211,16 @@ class DJVM:
             return []
         return self._interpreter.kernel.trace
 
+    @property
+    def race_trace(self) -> list[tuple]:
+        """The recorded race-operation audit trace (empty unless
+        constructed with ``racecheck="record"``); feed it to
+        :func:`repro.checks.racedetect.replay_trace` to re-run the
+        happens-before analysis offline."""
+        if self.racedetector is None:
+            return []
+        return self.racedetector.trace
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -204,6 +242,7 @@ class DJVM:
             timeshare_nodes=self.timeshare_nodes,
             keep_event_trace=self.keep_event_trace,
             sanitizer=self.sanitizer,
+            racedetector=self.racedetector,
         )
         interp.timers = self.timers
         interp.migration_engine = self.migration

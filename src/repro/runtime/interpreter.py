@@ -71,11 +71,18 @@ class Interpreter:
         events: EventLoop | None = None,
         keep_event_trace: bool = False,
         sanitizer=None,
+        racedetector=None,
     ) -> None:
         if not threads:
             raise ValueError("interpreter needs at least one thread")
         #: opt-in protocol invariant checker (observes event pops).
         self.sanitizer = sanitizer
+        #: opt-in happens-before race detector (repro.checks.racedetect):
+        #: observes accesses and sync ops via hlrc.racedetector; wired
+        #: here for direct-interpreter users (the DJVM wires it itself).
+        self.racedetector = racedetector
+        if racedetector is not None and hlrc.racedetector is None:
+            hlrc.racedetector = racedetector
         self.hlrc = hlrc
         self.threads = threads
         self.threads_by_id = {t.thread_id: t for t in threads}
@@ -92,6 +99,10 @@ class Interpreter:
         self.kernel = events if events is not None else EventLoop(keep_trace=keep_event_trace)
         # Queued network sends deliver through the same kernel.
         hlrc.network.attach_kernel(self.kernel)
+        # A recording race detector mirrors its operation trace into the
+        # kernel's auxiliary audit channel.
+        if racedetector is not None and getattr(racedetector, "keep_trace", False):
+            racedetector.attach_kernel(self.kernel)
         #: per-node core schedules (timesharing model), owned by the nodes.
         self._nodes = hlrc.cluster.nodes
         #: thread ids with a SEGMENT_END / MIGRATION_CHECK event in flight.

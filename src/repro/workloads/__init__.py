@@ -19,7 +19,11 @@ from repro.workloads.sor import SORWorkload
 from repro.workloads.barnes_hut import BarnesHutWorkload
 from repro.workloads.water_spatial import WaterSpatialWorkload
 from repro.workloads.fft import FFTWorkload
-from repro.workloads.synthetic import GroupSharingWorkload, UniformSharingWorkload
+from repro.workloads.synthetic import (
+    GroupSharingWorkload,
+    RacyCounterWorkload,
+    UniformSharingWorkload,
+)
 
 __all__ = [
     "Workload",
@@ -29,5 +33,6 @@ __all__ = [
     "WaterSpatialWorkload",
     "FFTWorkload",
     "GroupSharingWorkload",
+    "RacyCounterWorkload",
     "UniformSharingWorkload",
 ]

@@ -9,6 +9,11 @@ and ablations.
   checked exactly.
 * :class:`UniformSharingWorkload` — every thread touches every object;
   the TCM is flat.  A degenerate case for metric sanity checks.
+* :class:`RacyCounterWorkload` — threads hammer one shared counter
+  object, either under a distributed lock (``locked=True``: every
+  conflicting pair is ordered by release->acquire edges) or bare
+  (``locked=False``: a seeded, deliberate data race).  Ground truth for
+  the happens-before race detector (:mod:`repro.checks.racedetect`).
 """
 
 from __future__ import annotations
@@ -205,3 +210,87 @@ class UniformSharingWorkload(Workload):
         tcm = np.full((n, n), float(self.n_objects * self.object_size))
         np.fill_diagonal(tcm, 0.0)
         return tcm
+
+
+class RacyCounterWorkload(Workload):
+    """A shared counter incremented by every thread — with or without a
+    lock.
+
+    Each round, every thread reads and writes the one shared counter
+    object.  With ``locked=True`` the read-modify-write runs inside
+    ``acquire(0)``/``release(0)``, so mutual exclusion's release->acquire
+    edges order every conflicting pair and the race detector must stay
+    silent.  With ``locked=False`` the counter accesses have no
+    synchronization between them: the trailing per-round barrier orders
+    *rounds*, not the accesses within one round, so the first round
+    already contains a write-write (and write-read) race — the seeded
+    ground truth the ``race`` check gate asserts the detector catches.
+
+    Each thread also reads a shared read-only config object (exercising
+    the detector's concurrent-reader escalation without a race) and
+    writes a private scratch object (never shared, never reported).
+    """
+
+    def __init__(
+        self,
+        n_threads: int = 2,
+        *,
+        locked: bool = False,
+        rounds: int = 2,
+        increments_per_round: int = 3,
+        object_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_threads=n_threads, seed=seed)
+        if n_threads < 2:
+            raise ValueError("a race needs at least two threads")
+        self.locked = locked
+        self.rounds = rounds
+        self.increments_per_round = increments_per_round
+        self.object_size = object_size
+        self.counter_id: int | None = None
+        self.config_id: int | None = None
+        self.scratch_ids: list[int] = []
+
+    def spec(self) -> WorkloadSpec:
+        """Descriptive characteristics (Table I row)."""
+        mode = "locked" if self.locked else "racy"
+        return WorkloadSpec(
+            name=f"RacyCounter[{mode}]",
+            data_set=f"{self.n_threads} threads, 1 shared counter",
+            rounds=self.rounds,
+            granularity="Synthetic",
+            object_size=f"{self.object_size} bytes",
+        )
+
+    def build(self, djvm: DJVM, *, placement: str = "round_robin") -> None:
+        """Define classes, allocate counter/config/scratch, spawn threads."""
+        self._spawn(djvm, placement)
+        cls = djvm.registry.define("Counter", self.object_size)
+        self.counter_id = djvm.allocate(cls, self.node_of(0)).obj_id
+        self.config_id = djvm.allocate(cls, self.node_of(0)).obj_id
+        self.scratch_ids = [
+            djvm.allocate(cls, self.node_of(t)).obj_id for t in range(self.n_threads)
+        ]
+
+    def program(self, thread_id: int):
+        """The op stream for one thread."""
+        return self._generate(thread_id)
+
+    def _generate(self, thread_id: int):
+        assert self.counter_id is not None, "build() must run first"
+        rng = seeded_rng(self.seed, "racy_counter", f"t{thread_id}")
+        yield P.call("Counter.run", n_slots=2, refs=[(0, self.counter_id)])
+        yield P.read(self.config_id)
+        for round_no in range(self.rounds):
+            for _ in range(self.increments_per_round):
+                if self.locked:
+                    yield P.acquire(0)
+                yield P.read(self.counter_id)
+                yield P.compute(int(rng.integers(500, 1_500)))
+                yield P.write(self.counter_id)
+                if self.locked:
+                    yield P.release(0)
+            yield P.write(self.scratch_ids[thread_id])
+            yield P.barrier(round_no)
+        yield P.ret()

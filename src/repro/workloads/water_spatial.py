@@ -15,6 +15,17 @@ Object model:
 * ``Cell`` (64 B) — one grid box; refs its ``Molecule[]`` list.
 * ``Molecule[]`` — per-cell membership array, rewritten when molecules
   move between cells.
+
+Synchronization discipline (mirrors the SPLASH-2 original): the force
+phase only *reads* shared state — each thread computes its own
+molecules' forces from neighbour positions into thread-private
+accumulators (not modelled as shared accesses) — and positions are
+written once per round, in the integrate phase after the force barrier.
+Cell membership arrays are likewise updated only by the cell's owning
+thread (departures by the old cell's owner, arrivals by the new cell's
+owner), so every conflicting access pair is separated by a barrier and
+the workload is data-race-free under the happens-before model of
+:mod:`repro.checks.racedetect`.
 """
 
 from __future__ import annotations
@@ -61,9 +72,13 @@ class WaterSpatialWorkload(Workload):
         self.cell_obj_ids: list[int] = []
         self.cell_arr_ids: list[int] = []
         #: per-round: cell membership (cell -> molecule indices) and moves
-        #: (thread -> list of (mol, from_cell, to_cell)).
+        #: (departing-cell owner -> list of (mol, from_cell, to_cell)).
         self._rounds_members: list[list[list[int]]] = []
         self._rounds_moves: list[dict[int, list[tuple[int, int, int]]]] = []
+        #: per-round: arrival updates (new-cell owner -> list of new_cell)
+        #: — membership arrays are only ever written by their owning
+        #: thread, so cross-slab moves stay race-free.
+        self._rounds_arrivals: list[dict[int, list[int]]] = []
         #: round-invariant op prototypes, precomputed by build() and
         #: shared across rounds/threads (op tuples are immutable).
         self._neighbour_lists: list[list[int]] = []
@@ -185,6 +200,7 @@ class WaterSpatialWorkload(Workload):
         # Precompute per-round membership and inter-cell moves.
         self._rounds_members = []
         self._rounds_moves = []
+        self._rounds_arrivals = []
         members = members0
         for _round in range(self.rounds):
             self._rounds_members.append([list(ms) for ms in members])
@@ -194,12 +210,16 @@ class WaterSpatialWorkload(Workload):
             cell_of_old = {m: c for c, ms in enumerate(members) for m in ms}
             cell_of_new = {m: c for c, ms in enumerate(new_members) for m in ms}
             moves: dict[int, list[tuple[int, int, int]]] = {}
+            arrivals: dict[int, list[int]] = {}
             for m in range(self.n_molecules):
                 old_c, new_c = cell_of_old[m], cell_of_new[m]
                 if old_c != new_c:
                     owner = self.owner_of_cell(old_c)
                     moves.setdefault(owner, []).append((m, old_c, new_c))
+                    receiver = self.owner_of_cell(new_c)
+                    arrivals.setdefault(receiver, []).append(new_c)
             self._rounds_moves.append(moves)
+            self._rounds_arrivals.append(arrivals)
             members = new_members
 
         # Round-invariant prototypes for _generate.
@@ -265,8 +285,11 @@ class WaterSpatialWorkload(Workload):
                         add((P.OP_READ, mol_ids[m], 1, reps, 0))
                         add((P.OP_READ, coord_ids[m], 9, reps, 0))
                         pair_count += reps
-                for m in own_mols:
-                    add(coord_write[m])
+                # Forces accumulate into thread-private storage (owner
+                # computes all of its molecules' terms), so the force
+                # phase performs no shared writes: neighbour coordinate
+                # reads here race-freely precede the integrate-phase
+                # writes on the other side of the barrier.
                 add((P.OP_COMPUTE, pair_count * PAIR_COMPUTE_NS))
                 add((P.OP_RET,))
             add((P.OP_RET,))
@@ -279,11 +302,15 @@ class WaterSpatialWorkload(Workload):
                 for m in members[c]:
                     add(mol_read1[m])
                     add(coord_write[m])
-            for m, old_c, new_c in self._rounds_moves[rnd].get(thread_id, []):
-                # Moving a molecule rewrites both cells' membership arrays.
+            # Membership arrays are written only by their owning thread:
+            # the departing side drops the molecule from its own cell's
+            # array, the receiving side appends it to its own — two
+            # single-owner writes instead of one thread writing both.
+            for m, old_c, _new_c in self._rounds_moves[rnd].get(thread_id, []):
                 add(cell_arr_write1[old_c])
-                add(cell_arr_write1[new_c])
                 add(mol_write1[m])
+            for new_c in self._rounds_arrivals[rnd].get(thread_id, []):
+                add(cell_arr_write1[new_c])
             add((P.OP_RET,))
             add((P.OP_BARRIER, barrier_seq))
             barrier_seq += 1

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.checks.__main__ import main, run_lint
+from repro.checks.__main__ import main, run_lint, run_race
 
 
 def test_lint_clean_file_exits_zero(tmp_path, capsys):
@@ -28,6 +28,62 @@ def test_main_lint_subcommand(tmp_path):
 
 def test_main_lint_defaults_to_repo_tree():
     assert main(["lint"]) == 0
+
+
+def _fake_report():
+    from repro.checks.racedetect import AccessSite, RaceReport
+
+    first = AccessSite(thread_id=0, kind="write", interval_id=1, time_ns=10, seq=1)
+    second = AccessSite(thread_id=1, kind="read", interval_id=1, time_ns=20, seq=2)
+    return RaceReport(
+        obj_id=5,
+        class_name="Obj",
+        kind="write-read",
+        first=first,
+        second=second,
+        evidence="unordered",
+    )
+
+
+def test_race_gate_passes_when_expectations_met(monkeypatch, capsys):
+    import repro.checks.runner as runner
+
+    monkeypatch.setattr(
+        runner,
+        "run_race_all",
+        lambda verbose=True: [
+            ("SOR", 100, [], False),
+            ("RacyCounter[racy]", 50, [_fake_report()], True),
+            ("RacyCounter[locked]", 50, [], False),
+        ],
+    )
+    assert run_race() == 0
+    out = capsys.readouterr().out
+    assert "seeded race detected" in out and "racecheck: clean" in out
+
+
+def test_race_gate_fails_on_unexpected_race(monkeypatch, capsys):
+    import repro.checks.runner as runner
+
+    monkeypatch.setattr(
+        runner,
+        "run_race_all",
+        lambda verbose=True: [("SOR", 100, [_fake_report()], False)],
+    )
+    assert run_race() == 1
+    assert "unexpected race" in capsys.readouterr().err
+
+
+def test_race_gate_fails_when_seeded_race_missed(monkeypatch, capsys):
+    import repro.checks.runner as runner
+
+    monkeypatch.setattr(
+        runner,
+        "run_race_all",
+        lambda verbose=True: [("RacyCounter[racy]", 50, [], True)],
+    )
+    assert run_race() == 1
+    assert "seeded race NOT detected" in capsys.readouterr().err
 
 
 def test_simlint_module_entry(tmp_path):

@@ -101,6 +101,10 @@ def test_sim002_disabled():
         "for x in {1, 2, 3}:\n    pass\n",
         "for x in set(items):\n    pass\n",
         "for k in d.keys():\n    pass\n",
+        "for v in d.values():\n    pass\n",
+        "for k, v in d.items():\n    pass\n",
+        "out = [v for v in d.values()]\n",
+        "out = {k: v for k, v in d.items()}\n",
         "for o in interval.written:\n    pass\n",
         "for o in a.union(b):\n    pass\n",
         "out = [x for x in frozenset(items)]\n",
@@ -126,6 +130,8 @@ def test_sim003_positive_set_algebra_known_name():
         "for i, x in enumerate(sorted(written)):\n    pass\n",
         "for x in items:\n    pass\n",
         "for k in d:\n    pass\n",  # dicts preserve insertion order
+        "for k, v in sorted(d.items()):\n    pass\n",
+        "for v in list(sorted(d.values())):\n    pass\n",
     ],
 )
 def test_sim003_negative(loop):
@@ -144,6 +150,15 @@ def test_sim003_disabled():
     src = (
         "def f(written):\n"
         "    for o in written:  # simlint: disable=SIM003\n"
+        "        pass\n"
+    )
+    assert codes(src, CORE) == []
+
+
+def test_sim003_dict_view_disabled_with_justification():
+    src = (
+        "def f(d):\n"
+        "    for k, v in d.items():  # simlint: disable=SIM003 (integer sum; order cannot leak)\n"
         "        pass\n"
     )
     assert codes(src, CORE) == []
