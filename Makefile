@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint sanitize race check bench bench-paper perf examples demo clean
+.PHONY: install test lint sanitize race obs check bench bench-paper perf examples demo clean
 
 install:
 	pip install -e .
@@ -30,15 +30,22 @@ sanitize:
 race:
 	PYTHONPATH=src python -m repro.checks race
 
+# Telemetry gate: a bench-scale workload with metrics + span tracing,
+# asserting byte-identity against the untraced run, Chrome-trace JSON
+# schema validity, and telemetry wall overhead under 15%.
+obs:
+	PYTHONPATH=src python -m repro.obs gate
+
 # The pre-merge gate: lint, tier-1 tests, sanitizer-enabled workloads,
-# the happens-before race gate, plus the perf regression guard
-# (wall-time within tolerance of BENCH_perf.json, determinism checksums
-# unchanged).  Does not rewrite the committed baseline — use
-# `make perf` for that.
+# the happens-before race gate, the telemetry gate, plus the perf
+# regression guard (wall-time within tolerance of BENCH_perf.json,
+# determinism checksums unchanged).  Does not rewrite the committed
+# baseline — use `make perf` for that.
 check: lint
 	PYTHONPATH=src python -m pytest tests/
 	PYTHONPATH=src python -m repro.checks sanitize
 	PYTHONPATH=src python -m repro.checks race
+	PYTHONPATH=src python -m repro.obs gate
 	PYTHONPATH=src python benchmarks/perf_harness.py --repeats 3 --output /tmp/BENCH_perf.check.json
 	PYTHONPATH=src python benchmarks/check_regression.py BENCH_perf.json /tmp/BENCH_perf.check.json
 

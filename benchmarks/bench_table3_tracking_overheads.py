@@ -19,6 +19,7 @@ from common import PAPER_SCALE, record_table, workload_factories
 from repro.analysis import experiments as E
 from repro.analysis.paper import TABLE3
 from repro.analysis.report import Table, format_overhead
+from repro.obs.overhead import overhead_frac
 
 RATES: list[object] = [1, 4, 16, "full"]
 
@@ -54,15 +55,20 @@ def run_experiment():
                 vol_cells.append("N/A")
                 tcm_cells.append("N/A")
                 continue
-            run = E.run_with_correlation(factory, n_nodes=8, rate=rate, send_oals=True)
+            run = E.run_with_correlation(
+                factory, n_nodes=8, rate=rate, send_oals=True, telemetry=True
+            )
             run.suite.collector.tcm()  # force window processing / O3 charge
             t = run.result.execution_time_ms
-            traffic = run.result.traffic
-            gos_kb = traffic.gos_bytes / 1024
-            oal_kb = traffic.oal_bytes / 1024
-            pct = traffic.oal_bytes / traffic.gos_bytes
-            tcm_ms = run.suite.collector.tcm_compute_ms
-            data["exec"][rate] = (t - base) / base
+            # Traffic volumes and the daemon's computing time come out of
+            # the telemetry snapshot — the registry is the single source
+            # for every statistic this table reports.
+            snap = run.djvm.telemetry.snapshot()
+            gos_kb = snap["network_gos_bytes"] / 1024
+            oal_kb = snap["network_oal_bytes"] / 1024
+            pct = snap["network_oal_bytes"] / snap["network_gos_bytes"]
+            tcm_ms = snap["profiler_tcm_compute_ns"] / 1e6
+            data["exec"][rate] = overhead_frac(base, t)
             data["vol_pct"][rate] = pct
             data["tcm_ms"][rate] = tcm_ms
             exec_cells.append(format_overhead(base, t))

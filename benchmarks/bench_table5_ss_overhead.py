@@ -23,6 +23,7 @@ from common import PAPER_SCALE, record_table, workload_factories
 from repro.analysis import experiments as E
 from repro.analysis.paper import TABLE5
 from repro.analysis.report import Table, format_pct
+from repro.obs.overhead import overhead_frac
 
 
 def stack_overheads(factory, base_ms):
@@ -38,7 +39,7 @@ def stack_overheads(factory, base_ms):
                 lazy_extraction=lazy,
             )
             t = run.result.execution_time_ms
-            cells[("lazy" if lazy else "immediate", gap_ms)] = (t - base_ms) / base_ms
+            cells[("lazy" if lazy else "immediate", gap_ms)] = overhead_frac(base_ms, t)
     return cells
 
 
@@ -55,7 +56,7 @@ def footprint_overheads(factory, base_ms):
                 footprint_timer_ms=timer,
             )
             t = run.result.execution_time_ms
-            cells[("nonstop" if timer is None else "timer", rate)] = (t - base_ms) / base_ms
+            cells[("nonstop" if timer is None else "timer", rate)] = overhead_frac(base_ms, t)
     return cells
 
 
@@ -81,7 +82,7 @@ def resolution_overhead(factory, base_ms):
 
     djvm.add_hook(EagerResolver())
     t = djvm.run(workload.programs()).execution_time_ms
-    return (t - base_ms) / base_ms
+    return overhead_frac(base_ms, t)
 
 
 def run_experiment():

@@ -12,7 +12,11 @@ BASELINE, after an absolute slack of ``PERF_ABS_SLACK_S`` (default
 scheduler noise easily exceeds 20% — from flaking the guard.
 Determinism checksums are compared too: a mismatch means the simulation
 itself changed, which a perf-only PR must not do, and is reported as a
-hard failure regardless of tolerance.
+hard failure regardless of tolerance.  The same rule applies to the
+telemetry metrics snapshots recorded in each workload's ``telemetry``
+phase: every sample is simulated state, so any drift between baseline
+and current is a silent behavior change and fails hard (wall times in
+that phase get the normal tolerance).
 """
 
 from __future__ import annotations
@@ -42,6 +46,25 @@ def checksums(report: dict) -> dict:
         for wl, phases in sorted(report.get("workloads", {}).items())
         if isinstance(phases, dict) and phases.get("checksum") is not None
     }
+
+
+def telemetry_snapshots(report: dict) -> dict:
+    out = {}
+    for wl, phases in sorted(report.get("workloads", {}).items()):
+        snap = phases.get("telemetry", {}).get("snapshot") if isinstance(phases, dict) else None
+        if snap is not None:
+            out[wl] = snap
+    return out
+
+
+def diff_snapshot(expect: dict, got: dict) -> list[str]:
+    """Per-sample drift lines between two telemetry snapshots."""
+    lines = []
+    for key in sorted(set(expect) | set(got)):
+        a, b = expect.get(key), got.get(key)
+        if a != b:
+            lines.append(f"{key}: {a} -> {b}")
+    return lines
 
 
 def main(argv: list[str]) -> int:
@@ -82,6 +105,20 @@ def main(argv: list[str]) -> int:
         expect = base_sums.get(wl)
         if expect is not None and summ != expect:
             failures.append(f"{wl}: determinism checksum changed (simulated results differ)")
+
+    base_snaps = telemetry_snapshots(baseline)
+    for wl, snap in telemetry_snapshots(current).items():
+        expect = base_snaps.get(wl)
+        if expect is None:
+            continue
+        drift = diff_snapshot(expect, snap)
+        if drift:
+            for line in drift[:10]:
+                print(f"  telemetry drift {wl}: {line}")
+            failures.append(
+                f"{wl}: telemetry snapshot drifted ({len(drift)} sample(s)) — "
+                f"simulated results differ"
+            )
 
     if failures:
         print("\nFAIL:")

@@ -1,10 +1,11 @@
 """Tracked performance harness: workloads end to end, plus hot kernels.
 
 Runs the three paper workloads (SOR, Barnes-Hut, Water-Spatial) at bench
-scale through three phases each — ``base`` (no profiling), ``r4``
-(correlation tracking at rate 1/4, including TCM construction) and
-``full`` (full sampling) — and the simulator's hot kernels, then writes
-``BENCH_perf.json``.  This file is the perf trajectory every later PR is
+scale through four phases each — ``base`` (no profiling), ``r4``
+(correlation tracking at rate 1/4, including TCM construction), ``full``
+(full sampling) and ``telemetry`` (r4 with metrics + span tracing
+attached, plus the deterministic metrics snapshot) — and the simulator's
+hot kernels, then writes ``BENCH_perf.json``.  This file is the perf trajectory every later PR is
 measured against: ``make perf`` regenerates it and
 ``benchmarks/check_regression.py`` fails the build when wall-time
 regresses against the committed baseline.
@@ -106,6 +107,25 @@ def measure_workloads(repeats: int) -> dict:
             "ops_per_s": round(runf.result.ops_executed / wall, 1),
         }
 
+        def run_telemetry():
+            run = E.run_with_correlation(
+                factory, n_nodes=N_NODES, rate=4, send_oals=True, telemetry="full"
+            )
+            run.suite.collector.tcm()
+            return run
+
+        # The r4 phase again but with metrics + span tracing attached:
+        # the wall delta against r4 tracks what observation costs, and
+        # the snapshot (all simulated state) must be bit-stable — any
+        # drift is a silent behavior change check_regression rejects.
+        wall, runt = best_of(run_telemetry, repeats)
+        phases["telemetry"] = {
+            "wall_s": round(wall, 6),
+            "ops": runt.result.ops_executed,
+            "ops_per_s": round(runt.result.ops_executed / wall, 1),
+            "snapshot": runt.djvm.telemetry.snapshot(),
+        }
+
         # Determinism checksums: any hot-path change that alters the
         # simulation (not just its speed) shows up here.
         phases["checksum"] = {
@@ -122,7 +142,8 @@ def measure_workloads(repeats: int) -> dict:
         print(
             f"{name:14s} base {phases['base']['wall_s']:.4f}s  "
             f"r4 {phases['r4']['wall_s']:.4f}s  "
-            f"full {phases['full']['wall_s']:.4f}s",
+            f"full {phases['full']['wall_s']:.4f}s  "
+            f"telemetry {phases['telemetry']['wall_s']:.4f}s",
             flush=True,
         )
     return out

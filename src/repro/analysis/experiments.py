@@ -51,9 +51,10 @@ def build_djvm(
     *,
     costs: CostModel | None = None,
     placement: str = "block",
+    telemetry=None,
 ) -> DJVM:
     """Boot a DJVM and build the workload on it."""
-    djvm = DJVM(n_nodes=n_nodes, costs=costs)
+    djvm = DJVM(n_nodes=n_nodes, costs=costs, telemetry=telemetry)
     workload.build(djvm, placement=placement)
     return djvm
 
@@ -63,10 +64,11 @@ def run_baseline(
     n_nodes: int,
     *,
     costs: CostModel | None = None,
+    telemetry=None,
 ) -> ProfiledRun:
     """Run a workload with every profiler disabled ("No Correl. Tracking")."""
     workload = workload_factory()
-    djvm = build_djvm(workload, n_nodes, costs=costs)
+    djvm = build_djvm(workload, n_nodes, costs=costs, telemetry=telemetry)
     result = djvm.run(workload.programs())
     return ProfiledRun(workload=workload, djvm=djvm, result=result)
 
@@ -79,10 +81,11 @@ def run_with_correlation(
     send_oals: bool = True,
     piggyback: bool = True,
     costs: CostModel | None = None,
+    telemetry=None,
 ) -> ProfiledRun:
     """Run with correlation tracking at one sampling rate."""
     workload = workload_factory()
-    djvm = build_djvm(workload, n_nodes, costs=costs)
+    djvm = build_djvm(workload, n_nodes, costs=costs, telemetry=telemetry)
     suite = ProfilerSuite(djvm, correlation=True, send_oals=send_oals, piggyback=piggyback)
     suite.set_rate_all(rate)
     result = djvm.run(workload.programs())
@@ -100,12 +103,13 @@ def run_with_sticky_profiling(
     lazy_extraction: bool = True,
     footprint_timer_ms: float | None = None,
     costs: CostModel | None = None,
+    telemetry=None,
 ) -> ProfiledRun:
     """Run with sticky-set profiling (stack sampling and/or footprinting)
     and correlation tracking disabled — the paper's isolation methodology
     for the Table V overhead columns."""
     workload = workload_factory()
-    djvm = build_djvm(workload, n_nodes, costs=costs)
+    djvm = build_djvm(workload, n_nodes, costs=costs, telemetry=telemetry)
     suite = ProfilerSuite(
         djvm,
         correlation=False,
@@ -146,9 +150,9 @@ def collect_full_batches(
         gos = djvm.gos
 
         @staticmethod
-        def deliver(batch: OALBatch) -> None:
+        def deliver(batch: OALBatch, *, now_ns: int | None = None) -> None:
             batches.append(batch)
-            original.deliver(batch)
+            original.deliver(batch, now_ns=now_ns)
 
     assert suite.access_profiler is not None
     suite.access_profiler.collector = _Recorder()

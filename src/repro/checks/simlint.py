@@ -28,6 +28,9 @@ SIM007    direct ``heapq`` use outside ``repro/sim/events.py`` (all
           scheduling must go through the event kernel)
 SIM008    environment read (``os.environ`` / ``os.getenv``) inside the
           deterministic core (config must flow through constructors)
+SIM009    direct ``counters[...]`` mutation outside the metrics
+          registry (``repro/obs/``) — statistics flow through typed
+          registry handles, not ad-hoc dicts
 ========  ==============================================================
 
 Escape hatch: append ``# simlint: disable=SIM003`` (comma-separate for
@@ -148,7 +151,11 @@ RULES: dict[str, str] = {
     "SIM006": "mutable default argument",
     "SIM007": "direct heapq use outside the event kernel (repro/sim/events.py)",
     "SIM008": "environment read inside the deterministic core",
+    "SIM009": "direct counters[...] mutation outside the metrics registry (repro/obs/)",
 }
+
+#: module prefix exempt from SIM009 — the registry itself.
+METRICS_HOME_PREFIX = "repro/obs/"
 
 
 # ---------------------------------------------------------------------------
@@ -519,6 +526,32 @@ class _Checker(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- SIM009: counters must live in the metrics registry -------------
+
+    def _check_counters_mutation(self, target: ast.AST, node: ast.AST) -> None:
+        """Flag ``<x>.counters[...] = / += ...`` outside ``repro/obs/``:
+        protocol statistics belong to the metrics registry (typed
+        handles), not ad-hoc dicts the telemetry layer cannot see."""
+        if self.testish or self.mod.startswith(METRICS_HOME_PREFIX):
+            return
+        if isinstance(target, ast.Subscript) and _terminal_name(target.value) == "counters":
+            self.report(
+                node,
+                "SIM009",
+                "direct counters[...] mutation; use a metrics-registry Counter "
+                "handle (repro.obs.metrics) so the stat is typed, snapshot-"
+                "ordered and visible to telemetry",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_counters_mutation(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_counters_mutation(node.target, node)
         self.generic_visit(node)
 
 

@@ -77,6 +77,9 @@ class AccessProfiler:
         self.resample_passes = 0
         #: opt-in protocol sanitizer; observes OAL appends (at-most-once).
         self.sanitizer = None
+        #: opt-in span tracer (repro.obs): pure observer emitting one
+        #: ``oal_flush`` span per shipped batch.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # rate changes
@@ -208,6 +211,7 @@ class AccessProfiler:
             end_pc=interval.end_pc,
         )
         batch.entries.extend(oal.values())
+        flush_begin_ns = thread.clock.now_ns
         # Pack the jumbo message.
         pack_ns = len(batch) * self.costs.oal_pack_ns_per_entry
         thread.cpu.oal_packing_ns += pack_ns
@@ -237,5 +241,9 @@ class AccessProfiler:
             # next barrier release can go out (remote senders only).
             if thread.node_id != master:
                 self.cluster.network.add_ingress_backlog(master, serialize_ns)
+        if self.tracer is not None:
+            self.tracer.oal_flush(
+                thread, len(batch), batch.wire_bytes, flush_begin_ns, thread.clock.now_ns
+            )
         if self.collector is not None:
-            self.collector.deliver(batch)
+            self.collector.deliver(batch, now_ns=thread.clock.now_ns)

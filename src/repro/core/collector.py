@@ -54,11 +54,20 @@ class CorrelationCollector:
         self.window_class_tcms: list[dict[int, np.ndarray]] = []
         #: modelled daemon CPU time (overhead O3), nanoseconds.
         self.tcm_compute_ns = 0
+        #: opt-in span tracer (repro.obs): pure observer emitting one
+        #: ``tcm_window`` span per processed window on the daemon track.
+        self.tracer = None
+        #: simulated time of the latest delivered batch — anchors window
+        #: spans; bookkeeping only, never fed back into the simulation.
+        self._last_deliver_ns = 0
 
     # ------------------------------------------------------------------
 
-    def deliver(self, batch: OALBatch) -> None:
-        """Accept one OAL batch from a worker."""
+    def deliver(self, batch: OALBatch, *, now_ns: int | None = None) -> None:
+        """Accept one OAL batch from a worker (``now_ns`` = simulated
+        delivery time, used only to anchor trace spans)."""
+        if now_ns is not None and now_ns > self._last_deliver_ns:
+            self._last_deliver_ns = now_ns
         self._pending.append(batch)
         self.batches_received += 1
         self.entries_received += len(batch)
@@ -82,6 +91,14 @@ class CorrelationCollector:
             self.cluster.master.cpu.extra.get("tcm_compute_ns", 0) + cost
         )
         window = acc.tcm
+        if self.tracer is not None:
+            self.tracer.tcm_window(
+                self.cluster.master_id,
+                self._last_deliver_ns,
+                cost,
+                acc.n_entries,
+                len(self.window_tcms),
+            )
         # Incremental accrual: the running TCM is updated in place.
         self._accrued += window
         self.window_tcms.append(window)

@@ -95,6 +95,9 @@ class ProfilerSuite:
                 costs, gap_ms=stack_gap_ms, lazy=lazy_extraction
             )
             djvm.add_timer(self.stack_sampler)
+        telemetry = getattr(djvm, "telemetry", None)
+        if telemetry is not None:
+            telemetry.attach_suite(self)
 
     # ------------------------------------------------------------------
     # sampling-rate management

@@ -39,6 +39,7 @@ from repro.dsm.states import CopyRecord, RealState
 from repro.dsm.sync import SyncRegistry
 from repro.heap.heap import GlobalObjectSpace, LocalHeap
 from repro.heap.objects import HeapObject
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.cluster import Cluster
 from repro.sim.network import MessageKind
 
@@ -92,6 +93,7 @@ class HomeBasedLRC:
         cluster: Cluster,
         *,
         keep_interval_history: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.gos = gos
         self.cluster = cluster
@@ -131,16 +133,47 @@ class HomeBasedLRC:
         #: optional connectivity prefetcher consulted at fault time
         #: (anything with ``bundle_for(thread, obj) -> list[HeapObject]``).
         self.prefetcher = None
+        #: opt-in span tracer (repro.obs.tracing), wired by
+        #: ``DJVM(telemetry="trace")``.  Same contract as the sanitizer
+        #: slot: observes only, never advances simulated clocks, so
+        #: results are byte-identical with tracing on.
+        self.tracer = None
         self.keep_interval_history = keep_interval_history
         #: thread_id -> list of closed IntervalRecords (only when history kept).
         self.interval_history: dict[int, list[IntervalRecord]] = {}
-        #: protocol event counters (for assertions and reporting).
-        self.counters = {
-            "faults": 0,
-            "invalidations": 0,
-            "diffs": 0,
-            "notices": 0,
-            "intervals": 0,
+        # Protocol event counters live in the metrics registry; the
+        # engine keeps bound Counter handles so an increment on the
+        # protocol path is a single attribute add.  Without an external
+        # registry (no telemetry configured) a private one is used —
+        # results always carry the counters either way.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_faults = self.metrics.counter(
+            "hlrc_faults_total", "remote object faults (fetch round trips)"
+        )
+        self._c_invalidations = self.metrics.counter(
+            "hlrc_invalidations_total", "cache copies invalidated by write notices"
+        )
+        self._c_diffs = self.metrics.counter(
+            "hlrc_diffs_total", "diffs flushed to home nodes"
+        )
+        self._c_notices = self.metrics.counter(
+            "hlrc_notices_total", "write notices published"
+        )
+        self._c_intervals = self.metrics.counter(
+            "hlrc_intervals_total", "HLRC intervals closed"
+        )
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Legacy view of the protocol counters (the metrics registry is
+        the source of truth; key order matches the historical dict so
+        downstream checksums are stable)."""
+        return {
+            "faults": self._c_faults.value,
+            "invalidations": self._c_invalidations.value,
+            "diffs": self._c_diffs.value,
+            "notices": self._c_notices.value,
+            "intervals": self._c_intervals.value,
         }
 
     # ------------------------------------------------------------------
@@ -172,6 +205,7 @@ class HomeBasedLRC:
         costs = self.costs
         clock = thread.clock
         cpu = thread.cpu
+        fault_begin_ns = clock._now_ns
         cpu.protocol_ns += costs.gos_trap_ns
         clock._now_ns += costs.gos_trap_ns
 
@@ -221,7 +255,9 @@ class HomeBasedLRC:
             else:
                 existing.real_state = RealState.VALID
                 existing.fetched_version = extra.home_version
-        self.counters["faults"] += 1
+        self._c_faults.inc()
+        if self.tracer is not None:
+            self.tracer.fault(thread, obj.obj_id, fault_begin_ns, clock._now_ns, 1 + len(bundle))
         return record
 
     # ------------------------------------------------------------------
@@ -362,6 +398,8 @@ class HomeBasedLRC:
             start_pc=thread.pc,
             start_ns=clock._now_ns,
         )
+        if self.tracer is not None:
+            self.tracer.interval_open(thread, clock._now_ns)
         for hook in self.hooks:
             hook.on_interval_open(thread)
         if self.sanitizer is not None:
@@ -380,9 +418,11 @@ class HomeBasedLRC:
         clock = thread.clock
         cpu = thread.cpu
         notices = self.notices
-        counters = self.counters
+        c_diffs = self._c_diffs
+        c_notices = self._c_notices
         sanitizer = self.sanitizer
         racedetector = self.racedetector
+        tracer = self.tracer
         # Flush diffs for cache copies this thread wrote.  Sorted: the
         # written set is hash-ordered, and diff/notice publication order
         # feeds network sends and the global notice log — iteration
@@ -395,7 +435,7 @@ class HomeBasedLRC:
             if record.real_state is _HOME:
                 obj.home_version += 1
                 notices.append((obj_id, obj.home_version))
-                counters["notices"] += 1
+                c_notices.inc()
                 if sanitizer is not None:
                     sanitizer.on_notice(obj_id, obj.home_version)
                 if racedetector is not None:
@@ -404,6 +444,7 @@ class HomeBasedLRC:
             if thread.thread_id not in record.writers:
                 continue
             dirty = max(record.dirty_bytes, 1)
+            diff_begin_ns = clock._now_ns
             diff_ns = dirty * costs.diff_ns_per_byte
             cpu.protocol_ns += diff_ns
             clock._now_ns += diff_ns
@@ -421,8 +462,10 @@ class HomeBasedLRC:
             record.fetched_version = obj.home_version
             record.clear_interval_state()
             notices.append((obj_id, obj.home_version))
-            counters["diffs"] += 1
-            counters["notices"] += 1
+            c_diffs.inc()
+            c_notices.inc()
+            if tracer is not None:
+                tracer.diff(thread, obj_id, dirty, diff_begin_ns, clock._now_ns)
             if sanitizer is not None:
                 sanitizer.on_notice(obj_id, obj.home_version)
             if racedetector is not None:
@@ -431,12 +474,17 @@ class HomeBasedLRC:
         cpu.protocol_ns += costs.interval_close_ns
         clock._now_ns += costs.interval_close_ns
         interval.end_ns = clock._now_ns
-        self.counters["intervals"] += 1
+        self._c_intervals.inc()
 
         for hook in self.hooks:
             hook.on_interval_close(thread, interval, sync_dst)
         if sanitizer is not None:
             sanitizer.on_interval_close(thread, interval)
+        # The interval *span* closes after the hooks so close-time work
+        # (e.g. the profiler's OAL flush) nests inside it; the interval
+        # *record*'s end_ns above stays the protocol-close instant.
+        if tracer is not None:
+            tracer.interval_close(thread, interval, clock._now_ns)
 
         if self.keep_interval_history:
             self.interval_history.setdefault(thread.thread_id, []).append(interval)
@@ -486,7 +534,7 @@ class HomeBasedLRC:
             ns = invalidated * self.costs.invalidate_ns
             thread.cpu.protocol_ns += ns
             thread.clock._now_ns += ns
-            self.counters["invalidations"] += invalidated
+            self._c_invalidations.inc(invalidated)
         return len(new)
 
     def pending_notices(self, node_id: int) -> int:
@@ -593,6 +641,8 @@ class HomeBasedLRC:
             MessageKind.BARRIER, thread.node_id, self.cluster.master_id, BARRIER_MSG_BYTES, now
         )
         last = barrier.arrive(thread.thread_id, now)
+        if self.tracer is not None:
+            self.tracer.barrier_arrive(thread, barrier_id, now)
         if self.sanitizer is not None:
             self.sanitizer.on_barrier_arrive(barrier_id, thread.thread_id, parties, now)
         return last
@@ -624,6 +674,8 @@ class HomeBasedLRC:
             thread.clock.advance_to(release_ns + wait_back)
             thread.cpu.network_wait_ns += thread.clock.now_ns - arrived_at
             self.apply_notices(thread)
+            if self.tracer is not None:
+                self.tracer.barrier_resume(thread, barrier_id, thread.clock.now_ns)
             self.open_interval(thread)
         if self.sanitizer is not None:
             self.sanitizer.on_barrier_release(barrier_id, barrier.parties, waiters, release_ns)

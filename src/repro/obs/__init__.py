@@ -1,0 +1,213 @@
+"""Unified telemetry subsystem (metrics + span tracing + self-overhead).
+
+Every subsystem of the simulated DJVM emits into one telemetry layer
+with three pillars:
+
+* :mod:`repro.obs.metrics` — a typed metrics registry (Counter / Gauge /
+  Histogram with label sets, deterministic snapshot ordering, zero-cost
+  no-op handles when disabled).  The HLRC protocol counters live here;
+  network traffic, heap occupancy, migration and profiler statistics are
+  folded in through snapshot-time collectors.
+* :mod:`repro.obs.tracing` — a span tracer hung off the same
+  nullable-observer slot pattern as the protocol sanitizer and race
+  detector.  Spans begin and end in *simulated* time (interval, barrier
+  wait, fault, diff, migration, OAL flush, TCM window), so traces are
+  bit-deterministic across runs.
+* :mod:`repro.obs.overhead` — self-overhead accounting: the telemetry
+  layer measures the wall-clock cost of its own observation (Mertz &
+  Nunes: an adaptive monitor must know what *it* costs) and offers the
+  overhead arithmetic the paper's tables are built from.
+
+:class:`Telemetry` is the facade a :class:`~repro.runtime.djvm.DJVM`
+carries (``DJVM(telemetry=...)``); :mod:`repro.obs.export` renders the
+registry as a Prometheus-style text snapshot and the tracer as
+Chrome-trace / Perfetto JSON.  The contract shared with the sanitizer
+and race-detector gates holds here too: simulated results are
+byte-identical with telemetry off, metrics-only, or metrics+tracing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
+
+__all__ = ["Telemetry", "MetricsRegistry", "SpanTracer"]
+
+
+class Telemetry:
+    """One telemetry context: a metrics registry, an optional span
+    tracer, and the self-overhead account that both report into."""
+
+    def __init__(self, *, metrics: bool = True, tracing: bool = False) -> None:
+        self.registry = MetricsRegistry(enabled=metrics)
+        self.tracer: SpanTracer | None = SpanTracer() if tracing else None
+        #: the DJVM this context is bound to (set by :meth:`bind`).
+        self._djvm = None
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, value) -> "Telemetry | None":
+        """Resolve the ``DJVM(telemetry=...)`` argument.
+
+        ``None``/``False`` → no telemetry; ``True`` or ``"metrics"`` →
+        metrics only; ``"trace"``/``"full"`` → metrics + span tracing;
+        a :class:`Telemetry` instance passes through unchanged.
+        """
+        if value is None or value is False:
+            return None
+        if isinstance(value, cls):
+            return value
+        if value is True or value == "metrics":
+            return cls()
+        if value in ("trace", "tracing", "full"):
+            return cls(tracing=True)
+        raise ValueError(
+            f"telemetry must be None, bool, 'metrics', 'trace'/'full' or a "
+            f"Telemetry instance, got {value!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def bind(self, djvm) -> None:
+        """Bind to a DJVM: register the snapshot-time collectors that
+        absorb the scattered per-subsystem statistics (network traffic,
+        GOS occupancy, migrations, event-kernel accounting, CPU
+        attribution).  Collectors only *read* simulation state, so
+        binding cannot perturb results."""
+        self._djvm = djvm
+        reg = self.registry
+        if not reg.enabled:
+            return
+        reg.register_collector(lambda r, d=djvm: _collect_network(r, d))
+        reg.register_collector(lambda r, d=djvm: _collect_gos(r, d))
+        reg.register_collector(lambda r, d=djvm: _collect_migration(r, d))
+        reg.register_collector(lambda r, d=djvm: _collect_kernel(r, d))
+        reg.register_collector(lambda r, d=djvm: _collect_cpu(r, d))
+        if self.tracer is not None:
+            reg.register_collector(lambda r, t=self.tracer: _collect_tracer(r, t))
+
+    def attach_suite(self, suite) -> None:
+        """Attach a :class:`~repro.core.profiler.ProfilerSuite`: hand the
+        tracer to the OAL flush / TCM window emitters and register the
+        suite's statistics as snapshot-time collectors."""
+        if self.tracer is not None:
+            if suite.access_profiler is not None:
+                suite.access_profiler.tracer = self.tracer
+            suite.collector.tracer = self.tracer
+        if self.registry.enabled:
+            self.registry.register_collector(lambda r, s=suite: _collect_suite(r, s))
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+
+    @property
+    def self_wall_ns(self) -> int:
+        """Real (host) nanoseconds spent inside telemetry observation —
+        the layer's own cost, excluded from every simulated result."""
+        tracer_ns = self.tracer.self_ns if self.tracer is not None else 0
+        return tracer_ns + self.registry.self_ns
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered ``{sample_name: value}`` snapshot."""
+        return self.registry.snapshot()
+
+    def summary(self, *, limit: int | None = None) -> str:
+        """Human-readable metrics digest (one ``name value`` per line)."""
+        lines = [f"{name} {value}" for name, value in self.registry.snapshot().items()]
+        if limit is not None:
+            lines = lines[:limit]
+        if self.tracer is not None:
+            lines.append(f"# spans recorded: {len(self.tracer.spans)}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# snapshot-time collectors (read-only views over subsystem state)
+# ---------------------------------------------------------------------------
+
+
+def _collect_network(reg: MetricsRegistry, djvm) -> None:
+    stats = djvm.cluster.network.stats
+    reg.gauge("network_messages_total", "messages delivered").set(stats.messages)
+    reg.gauge("network_piggybacked_total", "payloads riding a carrier").set(
+        stats.piggybacked_messages
+    )
+    reg.gauge("network_gos_bytes", "base-protocol traffic bytes").set(stats.gos_bytes)
+    reg.gauge("network_oal_bytes", "profiling (OAL) traffic bytes").set(stats.oal_bytes)
+    by_kind = reg.gauge("network_bytes", "traffic bytes by message kind", labels=("kind",))
+    for kind, nbytes in stats.bytes_by_kind.items():
+        by_kind.labels(kind=kind.value).set(nbytes)
+
+
+def _collect_gos(reg: MetricsRegistry, djvm) -> None:
+    gos = djvm.gos
+    reg.gauge("gos_objects", "objects in the global object space").set(len(gos))
+    reg.gauge("gos_bytes", "payload bytes in the global object space").set(gos.total_bytes())
+    copies = sum(len(heap) for heap in djvm.hlrc.heaps.values())  # simlint: disable=SIM003 (integer sum; order cannot leak)
+    reg.gauge("heap_copies", "copy records across every node heap").set(copies)
+
+
+def _collect_migration(reg: MetricsRegistry, djvm) -> None:
+    results = djvm.migration.results
+    reg.gauge("migrations_total", "thread migrations performed").set(len(results))
+    reg.gauge("migration_prefetched_objects", "objects shipped with migrations").set(
+        sum(r.prefetched_objects for r in results)
+    )
+    reg.gauge("migration_prefetched_bytes", "bytes shipped with migrations").set(
+        sum(r.prefetched_bytes for r in results)
+    )
+
+
+def _collect_kernel(reg: MetricsRegistry, djvm) -> None:
+    interp = getattr(djvm, "_interpreter", None)
+    if interp is None:
+        return
+    kernel = interp.kernel
+    reg.gauge("event_kernel_scheduled", "events scheduled").set(kernel.scheduled)
+    reg.gauge("event_kernel_popped", "events dispatched").set(kernel.popped)
+    reg.gauge("event_kernel_aux_dropped", "aux audit entries dropped (capacity)").set(
+        kernel.aux_dropped
+    )
+
+
+def _collect_cpu(reg: MetricsRegistry, djvm) -> None:
+    total_ns = 0
+    profiling_ns = 0
+    network_ns = 0
+    for thread in djvm.threads:
+        cpu = thread.cpu
+        total_ns += cpu.total_ns
+        profiling_ns += cpu.profiling_ns
+        network_ns += cpu.network_wait_ns
+    reg.gauge("cpu_total_ns", "simulated CPU ns across threads").set(total_ns)
+    reg.gauge("cpu_profiling_ns", "simulated CPU ns in profiling subsystems").set(profiling_ns)
+    reg.gauge("cpu_network_wait_ns", "simulated ns stalled on the network").set(network_ns)
+
+
+def _collect_suite(reg: MetricsRegistry, suite) -> None:
+    if suite.access_profiler is not None:
+        ap = suite.access_profiler
+        reg.gauge("profiler_oal_logged", "OAL entries logged").set(ap.total_logged)
+        reg.gauge("profiler_oal_batches", "OAL batches flushed").set(ap.total_batches)
+        reg.gauge("profiler_resample_passes", "cluster resampling passes").set(
+            ap.resample_passes
+        )
+    reg.gauge("profiler_tcm_compute_ns", "master daemon TCM computing ns").set(
+        suite.collector.tcm_compute_ns
+    )
+    reg.gauge("profiler_tcm_windows", "TCM windows processed").set(
+        len(suite.collector.window_tcms)
+    )
+
+
+def _collect_tracer(reg: MetricsRegistry, tracer: SpanTracer) -> None:
+    reg.gauge("trace_spans_total", "spans recorded").set(len(tracer.spans))
+    by_name = reg.gauge("trace_spans", "spans recorded by name", labels=("name",))
+    for name, count in sorted(tracer.counts.items()):
+        by_name.labels(name=name).set(count)

@@ -1,0 +1,207 @@
+"""``python -m repro.obs`` — the telemetry subsystem CLI.
+
+Subcommands:
+
+* ``summary [--workload W] [--nodes N] [--rate R]`` — run one workload
+  with metrics+tracing and print the snapshot digest.
+* ``export [--workload W] [--nodes N] [--rate R] --trace OUT.json
+  [--prom OUT.txt] [--snapshot OUT.json]`` — run with tracing and write
+  the Chrome-trace JSON (load it in chrome://tracing or ui.perfetto.dev)
+  plus, optionally, the Prometheus text and the snapshot JSON.
+* ``diff A.json B.json`` — compare two snapshot JSON files; any metric
+  drift between identically-configured runs is a silent behavior
+  change, so drift exits non-zero.
+* ``gate [--max-overhead 0.15] [--repeats 3]`` — the ``make obs`` gate:
+  runs bench-scale SOR base vs telemetry-on, asserts byte-identity of
+  the simulated results, schema-validates the exported Chrome trace,
+  and asserts the telemetry wall overhead (self-overhead accounting)
+  stays under the budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis import experiments as E
+from repro.obs.export import chrome_trace, prometheus_text, validate_chrome_trace, write_chrome_trace
+from repro.obs.overhead import OverheadReport, measure
+from repro.workloads.barnes_hut import BarnesHutWorkload
+from repro.workloads.sor import SORWorkload
+from repro.workloads.water_spatial import WaterSpatialWorkload
+
+#: CLI workload registry at check scale (matches repro.checks.runner).
+WORKLOADS = {
+    "sor": lambda: SORWorkload(n=256, rounds=2, n_threads=4, seed=11),
+    "barnes-hut": lambda: BarnesHutWorkload(n_bodies=192, rounds=2, n_threads=4, seed=11),
+    "water-spatial": lambda: WaterSpatialWorkload(n_molecules=64, rounds=2, n_threads=4, seed=11),
+}
+
+#: bench-scale SOR for the gate (mirrors benchmarks/common.py reduced scale).
+GATE_FACTORY = lambda: SORWorkload(n=1024, rounds=4, n_threads=8, seed=11)  # noqa: E731
+GATE_NODES = 8
+
+
+def _run(workload: str, nodes: int, rate: float | str, telemetry: str = "full"):
+    factory = WORKLOADS[workload]
+    return E.run_with_correlation(
+        factory, n_nodes=nodes, rate=rate, send_oals=True, telemetry=telemetry
+    )
+
+
+def cmd_summary(args) -> int:
+    run = _run(args.workload, args.nodes, args.rate)
+    telemetry = run.djvm.telemetry
+    run.suite.collector.tcm()  # fold pending batches so TCM gauges are final
+    print(f"# {args.workload} on {args.nodes} nodes, rate {args.rate}")
+    print(f"# simulated execution {run.result.execution_time_ms:.3f} ms")
+    print(telemetry.summary())
+    print(f"# telemetry self-overhead {telemetry.self_wall_ns / 1e6:.2f} ms wall")
+    return 0
+
+
+def cmd_export(args) -> int:
+    run = _run(args.workload, args.nodes, args.rate)
+    telemetry = run.djvm.telemetry
+    run.suite.collector.tcm()
+    doc = write_chrome_trace(args.trace, telemetry.tracer)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"trace: {p}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.trace} ({len(doc['traceEvents'])} events)")
+    if args.prom:
+        Path(args.prom).write_text(prometheus_text(telemetry.registry))
+        print(f"wrote {args.prom}")
+    if args.snapshot:
+        Path(args.snapshot).write_text(json.dumps(telemetry.snapshot(), indent=1) + "\n")
+        print(f"wrote {args.snapshot}")
+    return 0
+
+
+def diff_snapshots(a: dict, b: dict) -> list[str]:
+    """Human-readable drift lines between two metric snapshots."""
+    lines = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            lines.append(f"{key}: {va} -> {vb}")
+    return lines
+
+
+def cmd_diff(args) -> int:
+    a = json.loads(Path(args.a).read_text())
+    b = json.loads(Path(args.b).read_text())
+    drift = diff_snapshots(a, b)
+    for line in drift:
+        print(line)
+    if drift:
+        print(f"telemetry diff: {len(drift)} metric(s) drifted", file=sys.stderr)
+        return 1
+    print(f"telemetry diff: identical ({len(a)} samples)")
+    return 0
+
+
+def run_gate(max_overhead: float, repeats: int, *, verbose: bool = True) -> int:
+    """The ``make obs`` gate; returns a process exit code."""
+    captured = {}
+
+    def run_base():
+        run = E.run_with_correlation(
+            GATE_FACTORY, n_nodes=GATE_NODES, rate=4, send_oals=True
+        )
+        captured["base"] = run.result
+        return run
+
+    def run_telemetry():
+        run = E.run_with_correlation(
+            GATE_FACTORY, n_nodes=GATE_NODES, rate=4, send_oals=True, telemetry="full"
+        )
+        captured["telemetry"] = run.result
+        return run.djvm.telemetry
+
+    report: OverheadReport = measure(run_base, run_telemetry, repeats=repeats)
+    failures = []
+
+    # 1. byte-identity: telemetry must not perturb the simulation.
+    base, telem = captured["base"], captured["telemetry"]
+    if (
+        base.execution_time_ms != telem.execution_time_ms
+        or base.counters != telem.counters
+        or base.thread_finish_ms != telem.thread_finish_ms
+    ):
+        failures.append("telemetry-on run is not byte-identical to telemetry-off")
+
+    # 2. exported trace must be schema-valid and well-nested.
+    telemetry_run = run_telemetry()
+    with tempfile.TemporaryDirectory() as tmp:
+        doc = write_chrome_trace(Path(tmp) / "trace.json", telemetry_run.tracer)
+    problems = validate_chrome_trace(doc)
+    for p in problems[:10]:
+        failures.append(f"trace schema: {p}")
+
+    # 3. wall overhead under budget.  A 5 ms absolute slack absorbs
+    # scheduler noise on short runs without masking a real regression.
+    budget_s = max(report.base_wall_s * max_overhead, 0.005)
+    if report.telemetry_wall_s - report.base_wall_s > budget_s:
+        failures.append(
+            f"telemetry wall overhead {report.overhead_frac * 100:.1f}% exceeds "
+            f"{max_overhead * 100:.0f}% budget"
+        )
+
+    if verbose:
+        print(f"obs gate: {report.render()}")
+        print(f"obs gate: trace {len(doc['traceEvents'])} events, "
+              f"{len(problems)} schema problem(s)")
+    if failures:
+        for f in failures:
+            print(f"obs gate FAIL: {f}", file=sys.stderr)
+        return 1
+    print("obs gate: OK")
+    return 0
+
+
+def cmd_gate(args) -> int:
+    return run_gate(args.max_overhead, args.repeats)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_args(p):
+        p.add_argument("--workload", choices=sorted(WORKLOADS), default="sor")
+        p.add_argument("--nodes", type=int, default=2)
+        p.add_argument("--rate", default=4, type=lambda v: v if v == "full" else float(v))
+
+    p = sub.add_parser("summary", help="run a workload, print the metrics digest")
+    add_run_args(p)
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("export", help="run a workload, write trace/metrics files")
+    add_run_args(p)
+    p.add_argument("--trace", required=True, help="Chrome-trace JSON output path")
+    p.add_argument("--prom", help="Prometheus text output path")
+    p.add_argument("--snapshot", help="metrics snapshot JSON output path")
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("diff", help="diff two snapshot JSON files")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("gate", help="the make-obs CI gate")
+    p.add_argument("--max-overhead", type=float, default=0.15)
+    p.add_argument("--repeats", type=int, default=5)
+    p.set_defaults(fn=cmd_gate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ prefetching each migrant's resolved sticky set.
 from __future__ import annotations
 
 from repro.core.profiler import ProfilerSuite
+from repro.obs.metrics import NULL_REGISTRY
 from repro.placement.balancer import CorrelationAwareBalancer, MigrationProposal
 from repro.runtime.migration import MigrationEngine, MigrationPlan
 from repro.runtime.thread import SimThread
@@ -41,6 +42,17 @@ class OnlineRebalancer:
         self.max_migrations = max_migrations
         self.fired = False
         self.proposals: list[MigrationProposal] = []
+        # Metric handles come from the DJVM's telemetry registry when one
+        # is configured, else the shared no-op registry — the call sites
+        # never branch on whether telemetry is on.
+        telemetry = getattr(suite.djvm, "telemetry", None)
+        registry = telemetry.registry if telemetry is not None else NULL_REGISTRY
+        self._c_fired = registry.counter(
+            "placement_rebalance_fired_total", "online rebalancer activations"
+        )
+        self._c_scheduled = registry.counter(
+            "placement_migrations_scheduled_total", "migrations the rebalancer queued"
+        )
 
     # -- TimerHook interface ------------------------------------------------
 
@@ -49,6 +61,7 @@ class OnlineRebalancer:
         if self.fired or thread.interval_counter < self.warmup_intervals:
             return
         self.fired = True
+        self._c_fired.inc()
         self._rebalance()
 
     def _rebalance(self) -> None:
@@ -86,3 +99,4 @@ class OnlineRebalancer:
                     prefetch_provider=provider,
                 )
             )
+            self._c_scheduled.inc()

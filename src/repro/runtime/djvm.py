@@ -11,6 +11,7 @@ from repro.dsm.hlrc import HomeBasedLRC
 from repro.heap.heap import GlobalObjectSpace
 from repro.heap.jclass import JClass
 from repro.heap.objects import HeapObject
+from repro.obs import Telemetry
 from repro.runtime.interpreter import Interpreter, TimerHook
 from repro.runtime.migration import MigrationEngine
 from repro.runtime.thread import SimThread, ThreadState
@@ -71,6 +72,8 @@ class DJVM:
         keep_event_trace: bool = False,
         sanitize: bool = False,
         racecheck: bool | str = False,
+        telemetry=None,
+        aux_capacity: int | None = None,
     ) -> None:
         self.cluster = Cluster(
             n_nodes,
@@ -78,9 +81,22 @@ class DJVM:
             network=network,
         )
         self.gos = GlobalObjectSpace()
+        #: opt-in telemetry context (repro.obs): metrics registry plus,
+        #: for "trace"/"full", the span tracer.  Pure observers on the
+        #: same contract as the sanitizer and race detector — simulated
+        #: results are byte-identical with telemetry on or off.
+        self.telemetry = Telemetry.from_config(telemetry)
+        metrics = None
+        if self.telemetry is not None and self.telemetry.registry.enabled:
+            metrics = self.telemetry.registry
         self.hlrc = HomeBasedLRC(
-            self.gos, self.cluster, keep_interval_history=keep_interval_history
+            self.gos,
+            self.cluster,
+            keep_interval_history=keep_interval_history,
+            metrics=metrics,
         )
+        if self.telemetry is not None and self.telemetry.tracer is not None:
+            self.hlrc.tracer = self.telemetry.tracer
         #: opt-in runtime protocol checker (repro.checks): asserts the
         #: HLRC state-machine invariants as the run executes, raising
         #: SanitizerViolation with the offending event trace.  Pure
@@ -116,6 +132,13 @@ class DJVM:
             self.racedetector.attach_resolver(self._class_name_of)
             self.hlrc.racedetector = self.racedetector
         self.migration = MigrationEngine(self.hlrc, self.cluster)
+        if self.telemetry is not None:
+            if self.telemetry.tracer is not None:
+                self.migration.tracer = self.telemetry.tracer
+            self.telemetry.bind(self)
+        #: retention cap for the event kernel's aux audit channel
+        #: (None = unbounded; see EventLoop.aux_capacity).
+        self.aux_capacity = aux_capacity
         #: single-core nodes (paper hardware) when True; one core per
         #: thread when False.
         self.timeshare_nodes = timeshare_nodes
@@ -241,6 +264,7 @@ class DJVM:
             self.threads,
             timeshare_nodes=self.timeshare_nodes,
             keep_event_trace=self.keep_event_trace,
+            aux_capacity=self.aux_capacity,
             sanitizer=self.sanitizer,
             racedetector=self.racedetector,
         )

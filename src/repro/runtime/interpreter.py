@@ -70,6 +70,7 @@ class Interpreter:
         timeshare_nodes: bool = True,
         events: EventLoop | None = None,
         keep_event_trace: bool = False,
+        aux_capacity: int | None = None,
         sanitizer=None,
         racedetector=None,
     ) -> None:
@@ -96,7 +97,11 @@ class Interpreter:
         #: one core per thread (an idealized SMP node).
         self.timeshare_nodes = timeshare_nodes
         #: the discrete-event kernel every scheduling decision runs through.
-        self.kernel = events if events is not None else EventLoop(keep_trace=keep_event_trace)
+        self.kernel = (
+            events
+            if events is not None
+            else EventLoop(keep_trace=keep_event_trace, aux_capacity=aux_capacity)
+        )
         # Queued network sends deliver through the same kernel.
         hlrc.network.attach_kernel(self.kernel)
         # A recording race detector mirrors its operation trace into the

@@ -74,6 +74,9 @@ class MigrationEngine:
         self.cluster = cluster
         self._pending: dict[int, MigrationPlan] = {}
         self.results: list[MigrationResult] = []
+        #: opt-in span tracer (repro.obs): pure observer, wired by the
+        #: DJVM when telemetry tracing is configured.
+        self.tracer = None
 
     def schedule(self, plan: MigrationPlan) -> None:
         """Queue a migration; the interpreter polls and fires it."""
@@ -113,6 +116,7 @@ class MigrationEngine:
         costs = self.hlrc.costs
         network = self.hlrc.network
 
+        migrate_begin_ns = thread.clock.now_ns
         slots = thread.stack.total_slots()
         freeze_ns = costs.migration_fixed_ns + slots * costs.migration_ns_per_slot
         thread.cpu.migration_ns += freeze_ns
@@ -146,6 +150,11 @@ class MigrationEngine:
         thread.node_id = target_node
         thread.migrations += 1
         self.results.append(result)
+        if self.tracer is not None:
+            self.tracer.migration(
+                thread, src, target_node, migrate_begin_ns, thread.clock.now_ns,
+                result.prefetched_objects,
+            )
         sanitizer = self.hlrc.sanitizer
         if sanitizer is not None:
             sanitizer.on_migration(thread, result)

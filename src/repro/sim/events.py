@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import enum
 import heapq
+from collections import deque
 from typing import Any, Callable, Iterator
 
 
@@ -128,6 +129,9 @@ class EventLoop:
     append self-describing tuples via :meth:`record_aux` (gated by
     :attr:`keep_aux`).  The race detector's offline replay consumes this
     channel: a recorded run can be re-analyzed without re-execution.
+    The channel is a bounded ring: ``aux_capacity`` caps retained
+    entries (oldest dropped first, counted in :attr:`aux_dropped`);
+    ``None`` keeps everything, for consumers that replay full traces.
     """
 
     __slots__ = (
@@ -139,10 +143,11 @@ class EventLoop:
         "scheduled",
         "popped",
         "keep_aux",
-        "aux_trace",
+        "_aux",
+        "aux_dropped",
     )
 
-    def __init__(self, *, keep_trace: bool = False) -> None:
+    def __init__(self, *, keep_trace: bool = False, aux_capacity: int | None = None) -> None:
         self._heap: list[tuple[int, int, Event]] = []
         self._seq = 0
         #: time of the most recently popped event (monotone over pops).
@@ -154,9 +159,24 @@ class EventLoop:
         self.popped = 0
         #: gate for the auxiliary audit channel (set by its producer).
         self.keep_aux = False
+        if aux_capacity is not None and aux_capacity < 0:
+            raise ValueError(f"aux_capacity must be >= 0 or None, got {aux_capacity}")
         #: auxiliary audit channel: producer-defined tuples whose first
         #: field is a simulated time in ns (ordering is producer order).
-        self.aux_trace: list[tuple] = []
+        self._aux: deque[tuple] = deque(maxlen=aux_capacity)
+        #: entries evicted from the aux channel because it was full.
+        self.aux_dropped = 0
+
+    @property
+    def aux_capacity(self) -> int | None:
+        """Retention cap of the aux channel (None = unbounded)."""
+        return self._aux.maxlen
+
+    @property
+    def aux_trace(self) -> list[tuple]:
+        """The retained aux entries, oldest first (a list copy — the
+        ring itself is private so the bound cannot be bypassed)."""
+        return list(self._aux)
 
     # ------------------------------------------------------------------
 
@@ -196,9 +216,14 @@ class EventLoop:
         """Append one producer-defined tuple to the auxiliary audit
         channel (no-op unless :attr:`keep_aux` is set).  The kernel
         never inspects entries; by convention ``entry[0]`` is a
-        simulated time in ns so mixed audit streams stay mergeable."""
+        simulated time in ns so mixed audit streams stay mergeable.
+        When the ring is at capacity the oldest entry is evicted and
+        :attr:`aux_dropped` incremented."""
         if self.keep_aux:
-            self.aux_trace.append(entry)
+            aux = self._aux
+            if aux.maxlen is not None and len(aux) == aux.maxlen:
+                self.aux_dropped += 1
+            aux.append(entry)
 
     def pop(self) -> Event | None:
         """Remove and return the next event, or None when idle.

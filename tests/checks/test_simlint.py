@@ -308,6 +308,41 @@ def test_sim008_disabled():
 
 
 # ---------------------------------------------------------------------------
+# SIM009: direct counters[...] mutation outside the metrics registry
+# ---------------------------------------------------------------------------
+
+
+def test_sim009_positive_augassign():
+    src = "class C:\n    def f(self):\n        self.counters['faults'] += 1\n"
+    assert codes(src, CORE) == ["SIM009"]
+
+
+def test_sim009_positive_assign():
+    src = "def f(hlrc):\n    hlrc.counters['diffs'] = 0\n"
+    assert codes(src, CORE) == ["SIM009"]
+
+
+def test_sim009_negative_read_only():
+    src = "def f(hlrc):\n    return hlrc.counters['faults']\n"
+    assert codes(src, CORE) == []
+
+
+def test_sim009_negative_testish():
+    src = "def f(hlrc):\n    hlrc.counters['faults'] += 1\n"
+    assert codes(src, TESTISH) == []
+
+
+def test_sim009_negative_metrics_home():
+    src = "def f(self):\n    self.counters['faults'] += 1\n"
+    assert codes(src, "src/repro/obs/metrics.py") == []
+
+
+def test_sim009_disabled():
+    src = "def f(hlrc):\n    hlrc.counters['x'] += 1  # simlint: disable=SIM009\n"
+    assert codes(src, CORE) == []
+
+
+# ---------------------------------------------------------------------------
 # engine behaviour
 # ---------------------------------------------------------------------------
 
@@ -335,7 +370,7 @@ def test_syntax_error_reported_not_raised():
 
 
 def test_every_rule_has_catalog_entry():
-    assert set(RULES) == {f"SIM00{i}" for i in range(1, 9)}
+    assert set(RULES) == {f"SIM00{i}" for i in range(1, 10)}
 
 
 def test_repo_tree_is_clean():

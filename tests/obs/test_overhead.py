@@ -1,0 +1,79 @@
+"""Self-overhead accounting arithmetic and the measure() harness."""
+
+from types import SimpleNamespace
+
+from repro.obs import Telemetry
+from repro.obs.overhead import (
+    OverheadReport,
+    measure,
+    overhead_frac,
+    profiling_attribution,
+)
+
+
+class TestArithmetic:
+    def test_overhead_frac(self):
+        assert overhead_frac(100, 110) == 0.1
+        assert overhead_frac(100, 100) == 0.0
+        assert overhead_frac(0, 50) == 0.0  # degenerate base
+
+    def test_profiling_attribution_splits_base_from_profiling(self):
+        cpu = SimpleNamespace(
+            compute_ns=100,
+            access_ns=20,
+            protocol_ns=30,
+            network_wait_ns=40,
+            migration_ns=10,
+            profiling_ns=25,
+            oal_logging_ns=10,
+            oal_packing_ns=5,
+            resampling_ns=4,
+            stack_sampling_ns=3,
+            footprinting_ns=2,
+            resolution_ns=1,
+            total_ns=225,
+        )
+        att = profiling_attribution(cpu)
+        assert att["base_ns"] == 200
+        assert att["profiling_ns"] == 25
+        assert att["base_ns"] + att["profiling_ns"] == att["total_ns"]
+
+
+class TestOverheadReport:
+    def test_fractions(self):
+        report = OverheadReport(
+            base_wall_s=1.0, telemetry_wall_s=1.1, observer_wall_ns=55_000_000
+        )
+        assert abs(report.overhead_frac - 0.1) < 1e-9
+        assert abs(report.observer_frac - 0.05) < 1e-9
+
+    def test_degenerate_zero_walls(self):
+        report = OverheadReport(base_wall_s=0.0, telemetry_wall_s=0.0)
+        assert report.overhead_frac == 0.0
+        assert report.observer_frac == 0.0
+
+    def test_render_mentions_overhead(self):
+        text = OverheadReport(base_wall_s=0.1, telemetry_wall_s=0.11).render()
+        assert "overhead" in text and "%" in text
+
+
+class TestMeasure:
+    def test_best_of_and_telemetry_capture(self):
+        calls = {"base": 0, "telem": 0}
+
+        def run_base():
+            calls["base"] += 1
+
+        telemetry = Telemetry()
+        telemetry.registry.counter("x").inc()
+
+        def run_telemetry():
+            calls["telem"] += 1
+            return telemetry
+
+        report = measure(run_base, run_telemetry, repeats=3)
+        assert calls == {"base": 3, "telem": 3}
+        assert report.base_wall_s > 0
+        assert report.telemetry_wall_s > 0
+        assert report.samples == 1  # the one counter sample
+        assert report.spans == 0  # tracing off

@@ -1,0 +1,176 @@
+"""Observer purity: telemetry must never perturb the simulation.
+
+Mirrors the sanitizer/race-detector byte-identity gates: the TCM
+checksum, simulated execution time, per-thread finish times and
+protocol counters must be bit-identical with telemetry off,
+metrics-only, and metrics+tracing — on all three tracked workloads.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.analysis.experiments import run_with_correlation
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.sim.events import EventLoop
+from repro.workloads.barnes_hut import BarnesHutWorkload
+from repro.workloads.sor import SORWorkload
+from repro.workloads.water_spatial import WaterSpatialWorkload
+
+WORKLOADS = {
+    "sor": lambda: SORWorkload(n=128, rounds=2, n_threads=4, seed=11),
+    "barnes-hut": lambda: BarnesHutWorkload(n_bodies=96, rounds=2, n_threads=4, seed=11),
+    "water-spatial": lambda: WaterSpatialWorkload(n_molecules=32, rounds=2, n_threads=4, seed=11),
+}
+
+MODES = {"off": None, "metrics": "metrics", "full": "full"}
+
+
+def _run(workload_key: str, telemetry):
+    return run_with_correlation(
+        WORKLOADS[workload_key], n_nodes=4, rate=4, send_oals=True, telemetry=telemetry
+    )
+
+
+def _fingerprint(run) -> tuple:
+    return (
+        hashlib.sha256(run.suite.tcm().tobytes()).hexdigest(),
+        run.result.execution_time_ms,
+        tuple(sorted(run.result.thread_finish_ms.items())),
+        tuple(sorted(run.djvm.hlrc.counters.items())),
+    )
+
+
+@pytest.mark.parametrize("workload_key", sorted(WORKLOADS))
+@pytest.mark.parametrize("mode", ["metrics", "full"])
+def test_telemetry_does_not_perturb_results(workload_key, mode):
+    off = _fingerprint(_run(workload_key, None))
+    on = _fingerprint(_run(workload_key, MODES[mode]))
+    assert on == off
+
+
+def test_snapshots_identical_across_identical_runs():
+    a = _run("sor", "full").djvm.telemetry.snapshot()
+    b = _run("sor", "full").djvm.telemetry.snapshot()
+    assert a == b
+    assert list(a) == sorted(a)  # deterministic ordering contract
+
+
+def test_metrics_agree_with_legacy_counters():
+    run = _run("sor", "metrics")
+    reg = run.djvm.telemetry.registry
+    counters = run.djvm.hlrc.counters
+    assert reg.value("hlrc_faults_total") == counters["faults"]
+    assert reg.value("hlrc_diffs_total") == counters["diffs"]
+    assert reg.value("hlrc_intervals_total") == counters["intervals"]
+    snap = run.djvm.telemetry.snapshot()
+    assert snap["network_gos_bytes"] == run.djvm.cluster.network.stats.gos_bytes
+    assert snap["profiler_oal_logged"] == run.suite.access_profiler.total_logged
+
+
+# ---------------------------------------------------------------------------
+# trace structure on a real run (the ISSUE acceptance case: 2-node SOR)
+# ---------------------------------------------------------------------------
+
+
+def _sor_2node_traced():
+    return run_with_correlation(
+        lambda: SORWorkload(n=128, rounds=2, n_threads=4, seed=11),
+        n_nodes=2,
+        rate=4,
+        send_oals=True,
+        telemetry="full",
+    )
+
+
+def test_sor_trace_schema_valid():
+    run = _sor_2node_traced()
+    tracer = run.djvm.telemetry.tracer
+    assert tracer.spans  # really traced
+    assert tracer.open_spans() == []  # every interval closed
+    doc = chrome_trace(tracer)
+    assert validate_chrome_trace(doc) == []
+
+
+def _assert_nested(tracer, required):
+    intervals = tracer.by_name("interval")
+    assert intervals
+    for name in required:
+        assert tracer.by_name(name), f"expected {name} spans from this run"
+    for name in ("fault", "diff", "oal_flush"):
+        for child in tracer.by_name(name):
+            assert any(parent.contains(child) for parent in intervals), (
+                f"{name} span at [{child.begin_ns}, {child.end_ns}] on track "
+                f"{child.track} not contained in any interval"
+            )
+
+
+def test_sor_trace_spans_nest_correctly():
+    """Every fault/oal_flush span lies inside an interval span on the
+    same thread track (SOR's home-placed writes produce no diffs)."""
+    _assert_nested(_sor_2node_traced().djvm.telemetry.tracer, ("fault", "oal_flush"))
+
+
+def test_water_spatial_diff_spans_nest_correctly():
+    tracer = _run("water-spatial", "full").djvm.telemetry.tracer
+    _assert_nested(tracer, ("fault", "diff", "oal_flush"))
+
+
+def test_sor_trace_has_barrier_and_tcm_spans():
+    run = _sor_2node_traced()
+    run.suite.collector.tcm()  # fold pending batches -> tcm_window spans
+    tracer = run.djvm.telemetry.tracer
+    assert tracer.by_name("barrier_wait")
+    windows = tracer.by_name("tcm_window")
+    assert windows
+    # daemon windows are serialized: no overlap on the daemon track
+    ordered = sorted(windows, key=lambda s: s.begin_ns)
+    for a, b in zip(ordered, ordered[1:]):
+        assert a.end_ns <= b.begin_ns
+
+
+# ---------------------------------------------------------------------------
+# event-kernel aux channel: bounded ring + dropped accounting
+# ---------------------------------------------------------------------------
+
+
+class TestAuxRing:
+    def _loop(self, capacity):
+        loop = EventLoop(aux_capacity=capacity)
+        loop.keep_aux = True
+        return loop
+
+    def test_bounded_ring_evicts_oldest_and_counts(self):
+        loop = self._loop(2)
+        for i in range(5):
+            loop.record_aux((i,))
+        assert loop.aux_trace == [(3,), (4,)]
+        assert loop.aux_dropped == 3
+        assert loop.aux_capacity == 2
+
+    def test_unbounded_by_default(self):
+        loop = self._loop(None)
+        for i in range(100):
+            loop.record_aux((i,))
+        assert len(loop.aux_trace) == 100
+        assert loop.aux_dropped == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="aux_capacity"):
+            EventLoop(aux_capacity=-1)
+
+    def test_djvm_threads_capacity_to_kernel_and_telemetry(self):
+        from repro.runtime.djvm import DJVM
+
+        workload = SORWorkload(n=64, rounds=1, n_threads=2, seed=3)
+        djvm = DJVM(n_nodes=2, telemetry=True, aux_capacity=7)
+        workload.build(djvm)
+        djvm.run(workload.programs())
+        kernel = djvm._interpreter.kernel
+        assert kernel.aux_capacity == 7
+        # overflow the ring post-run; telemetry surfaces the drop count
+        kernel.keep_aux = True
+        for i in range(10):
+            kernel.record_aux((i,))
+        snap = djvm.telemetry.snapshot()
+        assert snap["event_kernel_aux_dropped"] == kernel.aux_dropped == 3
