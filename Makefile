@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint sanitize race obs check bench bench-paper perf examples demo clean
+.PHONY: install test lint sanitize race obs pdes check bench bench-paper perf examples demo clean
 
 install:
 	pip install -e .
@@ -46,8 +46,17 @@ check: lint
 	PYTHONPATH=src python -m repro.checks sanitize
 	PYTHONPATH=src python -m repro.checks race
 	PYTHONPATH=src python -m repro.obs gate
-	PYTHONPATH=src python benchmarks/perf_harness.py --repeats 3 --output /tmp/BENCH_perf.check.json
+	$(MAKE) pdes
+	PYTHONPATH=src python benchmarks/perf_harness.py --repeats 3 --scale smoke --output /tmp/BENCH_perf.check.json
 	PYTHONPATH=src python benchmarks/check_regression.py BENCH_perf.json /tmp/BENCH_perf.check.json
+
+# Partitioned-kernel gate: byte-identity of the conservative parallel
+# kernel (2 and 4 partitions) and the vectorized replay engine against
+# the serial scalar oracle on the paper workloads and randomized
+# programs.  The scale smoke in `check`'s perf step re-asserts identity
+# at bench scale.
+pdes:
+	PYTHONPATH=src python -m pytest tests/sim/test_partition_kernel.py tests/runtime/test_vector_replay.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

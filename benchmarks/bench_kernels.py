@@ -17,6 +17,7 @@ from repro.runtime.djvm import DJVM
 from repro.runtime.stack import Frame
 from repro.runtime.thread import SimThread
 from repro.sim.costs import CostModel
+from repro.sim.network import Network, RackTopology
 
 
 def test_kernel_tcm_build(benchmark):
@@ -79,6 +80,26 @@ def test_kernel_hlrc_access_fast_path(benchmark):
         djvm.hlrc.access(thread, obj.obj_id, is_write=False, n_elems=1, repeat=1)
 
     benchmark(run)
+
+
+def test_kernel_network_construction(benchmark):
+    """Fabric construction + latency probes at high fan-out.
+
+    Per-pair latency is an O(1) formula (never an O(n²) table), so
+    building a 256-node rack fabric and probing 16 x 255 pairs must stay
+    microsecond-cheap regardless of cluster size."""
+    def run():
+        net = Network(topology=RackTopology(rack_size=8))
+        total = 0
+        for src in range(0, 256, 17):
+            for dst in range(256):
+                if dst != src:
+                    total += net.latency_between_ns(src, dst)
+        return net, total
+
+    net, total = benchmark(run)
+    assert net.min_latency_ns == 60_000
+    assert total > 0
 
 
 def test_kernel_interpreter_throughput(benchmark):

@@ -5,7 +5,12 @@ scale through four phases each — ``base`` (no profiling), ``r4``
 (correlation tracking at rate 1/4, including TCM construction), ``full``
 (full sampling) and ``telemetry`` (r4 with metrics + span tracing
 attached, plus the deterministic metrics snapshot) — and the simulator's
-hot kernels, then writes ``BENCH_perf.json``.  This file is the perf trajectory every later PR is
+hot kernels, then writes ``BENCH_perf.json``.  A separate ``scale``
+phase runs the SOR weak-scaling ladder (8 → 128 simulated nodes, one
+thread per node) under both the serial oracle kernel and the
+partitioned + vectorized kernel, recording wall/ops-per-second for each
+mode plus a byte-level checksum of the simulated results — the two
+kernels must produce identical checksums at every rung.  This file is the perf trajectory every later PR is
 measured against: ``make perf`` regenerates it and
 ``benchmarks/check_regression.py`` fails the build when wall-time
 regresses against the committed baseline.
@@ -46,9 +51,22 @@ from repro.heap.heap import GlobalObjectSpace
 from repro.runtime import program as P
 from repro.runtime.djvm import DJVM
 from repro.sim.costs import CostModel
+from repro.sim.network import Network, RackTopology
+from repro.workloads.sor import SORWorkload
 
 N_THREADS = 8
 N_NODES = 8
+
+#: weak-scaling ladder for the ``scale`` phase: one SOR thread per node,
+#: 256 grid rows per thread, rounds shrinking to keep each point a few
+#: seconds.  (nodes, grid n, rounds).
+SCALE_CONFIGS = [
+    (8, 2_048, 8),
+    (32, 8_192, 4),
+    (64, 16_384, 2),
+    (128, 32_768, 2),
+]
+SCALE_PARTITIONS = 4
 
 
 def best_of(fn, repeats: int) -> tuple[float, object]:
@@ -64,6 +82,34 @@ def best_of(fn, repeats: int) -> tuple[float, object]:
             best = elapsed
             result = out
     return best, result
+
+
+def median_of(fn, repeats: int, warmups: int = 2) -> tuple[float, object]:
+    """Median wall time over ``repeats`` calls after ``warmups`` discarded
+    runs, with the collector paused around each timed region.  The scale
+    phase uses medians (not best-of): its multi-second runs drift with
+    allocator state, and the median is the honest central tendency the
+    serial-vs-parallel speedups are computed from."""
+    walls = []
+    result = None
+    for i in range(warmups + repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        if i >= warmups:
+            walls.append(elapsed)
+    walls.sort()
+    mid = len(walls) // 2
+    if len(walls) % 2:
+        median = walls[mid]
+    else:
+        median = (walls[mid - 1] + walls[mid]) / 2.0
+    return median, result
 
 
 # ---------------------------------------------------------------------------
@@ -150,6 +196,90 @@ def measure_workloads(repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# scale phase: serial oracle vs partitioned+vectorized kernel
+# ---------------------------------------------------------------------------
+
+
+def result_checksum(res) -> str:
+    """Digest of everything the simulation produced: protocol counters,
+    final thread clocks, op count, and per-kind network traffic.  The
+    partitioned/vectorized kernel must reproduce the serial oracle's
+    digest byte for byte — check_regression fails hard otherwise."""
+    h = hashlib.sha256()
+    h.update(repr(sorted(res.counters.items())).encode())
+    h.update(repr(sorted(res.thread_finish_ms.items())).encode())
+    h.update(repr(res.ops_executed).encode())
+    by_kind = sorted(res.traffic._by_kind.items(), key=lambda kv: str(kv[0]))
+    h.update(repr([(str(k), v) for k, v in by_kind]).encode())
+    h.update(repr(res.traffic.messages).encode())
+    return h.hexdigest()
+
+
+def _scale_point(nodes: int, n: int, rounds: int, repeats: int) -> dict:
+    """One ladder rung: SOR at ``nodes`` simulated nodes, serial-scalar
+    vs partitioned-vectorized, sharing one compiled program set (object
+    allocation is deterministic, so ids stay valid across rebuilds)."""
+    scratch = DJVM(nodes)
+    workload = SORWorkload(n=n, rounds=rounds, n_threads=nodes, seed=0)
+    workload.build(scratch)
+    compiled = {
+        tid: P.compile_program(ops) for tid, ops in workload.programs().items()
+    }
+
+    def run_mode(kernel_kwargs: dict):
+        djvm = DJVM(nodes, **kernel_kwargs)
+        SORWorkload(n=n, rounds=rounds, n_threads=nodes, seed=0).build(djvm)
+        return djvm.run(compiled)
+
+    point: dict[str, object] = {"nodes": nodes, "n": n, "rounds": rounds}
+    sums = {}
+    for mode, kwargs in (
+        ("serial", {"kernel": "serial", "replay": "scalar"}),
+        (
+            "parallel",
+            {
+                "kernel": "partitioned",
+                "partitions": SCALE_PARTITIONS,
+                "replay": "vector",
+            },
+        ),
+    ):
+        wall, res = median_of(lambda kw=kwargs: run_mode(kw), repeats)
+        point[mode] = {
+            "wall_s": round(wall, 6),
+            "ops": res.ops_executed,
+            "ops_per_s": round(res.ops_executed / wall, 1),
+        }
+        sums[mode] = result_checksum(res)
+    point["speedup"] = round(point["serial"]["wall_s"] / point["parallel"]["wall_s"], 3)
+    point["checksum_serial"] = sums["serial"]
+    point["checksum_parallel"] = sums["parallel"]
+    point["identical"] = sums["serial"] == sums["parallel"]
+    return point
+
+
+def measure_scale(repeats: int, mode: str = "full") -> dict:
+    """``full``: the whole ladder.  ``smoke`` (make check / CI): the two
+    smallest rungs with one timed run each — still enough to hard-check
+    serial↔parallel byte-identity, and config-compatible with the full
+    baseline so checksum comparison stays exact."""
+    configs = SCALE_CONFIGS if mode == "full" else SCALE_CONFIGS[:2]
+    if mode == "smoke":
+        repeats = 1
+    out = {}
+    for nodes, n, rounds in configs:
+        point = _scale_point(nodes, n, rounds, repeats)
+        out[f"sor_{nodes}"] = point
+        print(
+            f"scale sor nodes={nodes:3d}  serial {point['serial']['wall_s']:.4f}s  "
+            f"parallel {point['parallel']['wall_s']:.4f}s  "
+            f"speedup {point['speedup']:.2f}x  identical={point['identical']}",
+            flush=True,
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # hot kernels (mirrors bench_kernels.py without the pytest-benchmark dep)
 # ---------------------------------------------------------------------------
 
@@ -216,12 +346,32 @@ def kernel_interpreter_throughput(repeats: int) -> dict:
     return {"wall_s": round(wall, 6), "ops_per_s": round(ops / wall, 1)}
 
 
+def kernel_network_topology(repeats: int) -> dict:
+    """Network construction plus latency probes at high fan-out: per-pair
+    latency is an O(1) formula, so a 256-node fabric must cost the same
+    to build as an 8-node one (16 sources x 255 destinations probed)."""
+    def run():
+        net = Network(topology=RackTopology(rack_size=8))
+        total = 0
+        for src in range(0, 256, 17):
+            for dst in range(256):
+                if dst != src:
+                    total += net.latency_between_ns(src, dst)
+        return net, total
+
+    wall, (net, total) = best_of(run, repeats)
+    assert net.min_latency_ns == 60_000 and total > 0
+    probes = 16 * 255
+    return {"wall_s": round(wall, 6), "probes_per_s": round(probes / wall, 1)}
+
+
 def measure_kernels(repeats: int) -> dict:
     kernels = {
         "tcm_build_50k": kernel_tcm_build,
         "sampling_decision_2500": kernel_sampling_decision,
         "hlrc_access_20k": kernel_hlrc_access,
         "interpreter_3202_ops": kernel_interpreter_throughput,
+        "network_topology_256n": kernel_network_topology,
     }
     out = {}
     for name, fn in kernels.items():
@@ -240,6 +390,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=5, help="runs per measurement (best-of)"
     )
+    parser.add_argument(
+        "--scale",
+        choices=("off", "smoke", "full"),
+        default="full",
+        help="scale-phase depth: full ladder, smoke (2 rungs, 1 repeat), or off",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -256,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": measure_workloads(args.repeats),
         "kernels": measure_kernels(args.repeats),
     }
+    if args.scale != "off":
+        report["scale"] = measure_scale(max(1, args.repeats - 2), args.scale)
     with open(args.output, "w") as f:
         json.dump(report, f, indent=1, sort_keys=True)
         f.write("\n")

@@ -24,13 +24,19 @@ SIM003    iteration over a container without a canonical order (``set``
 SIM004    ``id()``-based ordering/keying in the deterministic core
 SIM005    hot-path class without ``__slots__`` (configured hot modules)
 SIM006    mutable default argument (``def f(x=[])``) anywhere
-SIM007    direct ``heapq`` use outside ``repro/sim/events.py`` (all
-          scheduling must go through the event kernel)
+SIM007    direct ``heapq`` use outside the event-kernel modules
+          (``repro/sim/events.py``, ``repro/sim/partition.py``) — all
+          scheduling must go through the event kernel
 SIM008    environment read (``os.environ`` / ``os.getenv``) inside the
           deterministic core (config must flow through constructors)
 SIM009    direct ``counters[...]`` mutation outside the metrics
           registry (``repro/obs/``) — statistics flow through typed
           registry handles, not ad-hoc dicts
+SIM010    wall-clock/OS-level process API (``multiprocessing``,
+          ``subprocess``, ``threading``, ``signal``, ``os.fork``/
+          ``os.spawn*``/``os.getpid``, ``time.sleep``, …) inside a
+          partition-worker module; only the sanctioned worker harness
+          (``repro/sim/workerpool.py``) may touch process machinery
 ========  ==============================================================
 
 Escape hatch: append ``# simlint: disable=SIM003`` (comma-separate for
@@ -73,8 +79,59 @@ HOT_MODULES = frozenset(
     }
 )
 
-#: the one module allowed to touch heapq directly (the event kernel).
-HEAPQ_HOME = "repro/sim/events.py"
+#: the modules allowed to touch heapq directly (the serial event kernel
+#: and its conservative-PDES partitioning; both ARE the event kernel).
+HEAPQ_HOME = frozenset({"repro/sim/events.py", "repro/sim/partition.py"})
+
+#: the sanctioned worker harness — the only partition-worker module that
+#: may touch OS process machinery (SIM010's single exemption).
+WORKER_HARNESS = "repro/sim/workerpool.py"
+
+#: modules the SIM010 partition-worker rule scopes to: the partitioned
+#: kernel itself plus any worker-layer module under repro/sim/.
+def _is_partition_worker(mod: str) -> bool:
+    if mod == WORKER_HARNESS:
+        return False
+    if not mod.startswith("repro/sim/"):
+        return False
+    name = mod.rsplit("/", 1)[-1]
+    return name.startswith("partition") or "worker" in name
+
+
+#: modules whose import into a partition-worker module breaks the
+#: determinism-by-construction contract (SIM010).
+WORKER_BANNED_MODULES = frozenset(
+    {
+        "multiprocessing",
+        "subprocess",
+        "threading",
+        "concurrent",
+        "signal",
+        "socket",
+        "ctypes",
+        "asyncio",
+    }
+)
+
+#: os.<attr> process APIs banned inside partition-worker modules.
+OS_PROCESS_ATTRS = frozenset(
+    {
+        "fork",
+        "forkpty",
+        "system",
+        "popen",
+        "kill",
+        "killpg",
+        "getpid",
+        "getppid",
+        "waitpid",
+        "wait",
+        "pipe",
+        "dup",
+        "dup2",
+    }
+)
+OS_PROCESS_PREFIXES = ("spawn", "exec", "sched_", "wait")
 
 #: names that hold sets in this codebase; iterating them without
 #: sorted() feeds hash order into event scheduling / TCM accrual.
@@ -149,9 +206,10 @@ RULES: dict[str, str] = {
     "SIM004": "id()-based ordering or keying in the deterministic core",
     "SIM005": "hot-path class without __slots__",
     "SIM006": "mutable default argument",
-    "SIM007": "direct heapq use outside the event kernel (repro/sim/events.py)",
+    "SIM007": "direct heapq use outside the event kernel (repro/sim/{events,partition}.py)",
     "SIM008": "environment read inside the deterministic core",
     "SIM009": "direct counters[...] mutation outside the metrics registry (repro/obs/)",
+    "SIM010": "process/wall-clock API in a partition-worker module outside the sanctioned worker harness",
 }
 
 #: module prefix exempt from SIM009 — the registry itself.
@@ -239,6 +297,8 @@ class _Checker(ast.NodeVisitor):
         self.testish = _is_test_or_bench(path)
         self.deterministic = not self.testish and _is_deterministic(self.mod)
         self.hot_module = not self.testish and self.mod in HOT_MODULES
+        #: SIM010 scope: partition-worker module (harness exempt).
+        self.partition_worker = not self.testish and _is_partition_worker(self.mod)
         self.disabled = _disabled_lines(source)
         self.findings: list[Finding] = []
         #: names bound by ``from time import ...`` that read the wall clock.
@@ -259,23 +319,38 @@ class _Checker(ast.NodeVisitor):
 
     # -- imports (feed several rules) ----------------------------------
 
+    def _check_worker_import(self, node: ast.AST, module_name: str) -> None:
+        """SIM010: a partition-worker module importing process machinery."""
+        root = module_name.split(".", 1)[0]
+        if self.partition_worker and root in WORKER_BANNED_MODULES:
+            self.report(
+                node,
+                "SIM010",
+                f"import {module_name} inside a partition-worker module; "
+                "process machinery may only live in the sanctioned worker "
+                f"harness ({WORKER_HARNESS})",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
-            if alias.name == "heapq" and self.mod != HEAPQ_HOME and not self.testish:
+            if alias.name == "heapq" and self.mod not in HEAPQ_HOME and not self.testish:
                 self.report(
                     node,
                     "SIM007",
                     "import heapq outside the event kernel; schedule through "
                     "repro.sim.events.EventLoop instead",
                 )
+            self._check_worker_import(node, alias.name)
             if alias.name == "numpy":
                 self._numpy_aliases.add(alias.asname or "numpy")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         mod = node.module or ""
+        if mod:
+            self._check_worker_import(node, mod)
         for alias in node.names:
-            if mod == "heapq" and self.mod != HEAPQ_HOME and not self.testish:
+            if mod == "heapq" and self.mod not in HEAPQ_HOME and not self.testish:
                 self.report(
                     node,
                     "SIM007",
@@ -374,6 +449,28 @@ class _Checker(ast.NodeVisitor):
                     f"os.{chain[1]} read in the deterministic core; configuration "
                     "must flow through constructors so runs are reproducible",
                 )
+        if self.partition_worker:
+            chain = _attr_chain(node)
+            if len(chain) >= 2:
+                if chain[0] == "os" and (
+                    chain[1] in OS_PROCESS_ATTRS
+                    or chain[1].startswith(OS_PROCESS_PREFIXES)
+                ):
+                    self.report(
+                        node,
+                        "SIM010",
+                        f"os.{chain[1]} inside a partition-worker module; process "
+                        "machinery may only live in the sanctioned worker harness "
+                        f"({WORKER_HARNESS})",
+                    )
+                elif chain[0] == "time" and chain[1] == "sleep":
+                    self.report(
+                        node,
+                        "SIM010",
+                        "time.sleep inside a partition-worker module; workers "
+                        "synchronize through the kernel's safe windows, never "
+                        "the host clock",
+                    )
         self.generic_visit(node)
 
     # -- iteration (SIM003) --------------------------------------------

@@ -114,6 +114,10 @@ class HomeBasedLRC:
         self.notices: list[tuple[int, int]] = []
         #: per-node index of the first unseen notice.
         self._notice_seen: dict[int, int] = {n.node_id: 0 for n in cluster.nodes}
+        # Memoized (start, end, {obj_id: newest_version}) fold of the
+        # notice range last applied — shared by every node draining the
+        # same range at a barrier.
+        self._latest_notices: tuple[int, int, dict[int, int]] | None = None
         self.hooks: list[ProtocolHooks] = []
         # Single-hook fast dispatch: when exactly one hook is attached
         # and it exposes ``fast_on_access`` (positional form), accesses
@@ -427,6 +431,8 @@ class HomeBasedLRC:
         # written set is hash-ordered, and diff/notice publication order
         # feeds network sends and the global notice log — iteration
         # order must not depend on interning accidents (SIM003).
+        # Counter increments are batched per close, not per object.
+        n_notices = n_diffs = 0
         for obj_id in sorted(interval.written):
             record: CopyRecord | None = copies.get(obj_id)
             obj = objects[obj_id]
@@ -435,7 +441,7 @@ class HomeBasedLRC:
             if record.real_state is _HOME:
                 obj.home_version += 1
                 notices.append((obj_id, obj.home_version))
-                c_notices.inc()
+                n_notices += 1
                 if sanitizer is not None:
                     sanitizer.on_notice(obj_id, obj.home_version)
                 if racedetector is not None:
@@ -462,8 +468,8 @@ class HomeBasedLRC:
             record.fetched_version = obj.home_version
             record.clear_interval_state()
             notices.append((obj_id, obj.home_version))
-            c_diffs.inc()
-            c_notices.inc()
+            n_diffs += 1
+            n_notices += 1
             if tracer is not None:
                 tracer.diff(thread, obj_id, dirty, diff_begin_ns, clock._now_ns)
             if sanitizer is not None:
@@ -471,6 +477,10 @@ class HomeBasedLRC:
             if racedetector is not None:
                 racedetector.on_notice_publish(thread, obj_id, obj.home_version)
 
+        if n_diffs:
+            c_diffs.inc(n_diffs)
+        if n_notices:
+            c_notices.inc(n_notices)
         cpu.protocol_ns += costs.interval_close_ns
         clock._now_ns += costs.interval_close_ns
         interval.end_ns = clock._now_ns
@@ -504,18 +514,28 @@ class HomeBasedLRC:
             # pending: diffs applied at the node earlier are visible to
             # this thread too (node-shared cache copies).
             self.racedetector.on_apply_notices(thread, start, len(self.notices))
-        new = self.notices[start:]
-        if not new:
+        end = len(self.notices)
+        n_new = end - start
+        if not n_new:
             return 0
-        self._notice_seen[node_id] = len(self.notices)
+        self._notice_seen[node_id] = end
         copies = self._copies_by_node[node_id]
         invalidated = 0
-        if len(copies) < len(new):
+        if len(copies) < n_new:
             # Few copies, many notices: invert the scan.  Notices are
             # append-ordered, so dict() keeps each object's newest
             # version, and invalidating against the newest version flips
-            # exactly the copies the notice-ordered walk would.
-            latest = dict(new)
+            # exactly the copies the notice-ordered walk would.  At a
+            # barrier every node applies the same range, so the folded
+            # dict is memoized on (start, end) — the list is append-only,
+            # which makes that key sound — and built once per range
+            # instead of once per node.
+            memo = self._latest_notices
+            if memo is not None and memo[0] == start and memo[1] == end:
+                latest = memo[2]
+            else:
+                latest = dict(self.notices[start:end])
+                self._latest_notices = (start, end, latest)
             for obj_id, record in copies.items():  # simlint: disable=SIM003 (hot path; per-record state flips are independent, order cannot leak)
                 if record.real_state is _VALID:
                     version = latest.get(obj_id)
@@ -523,7 +543,7 @@ class HomeBasedLRC:
                         record.real_state = _INVALID
                         invalidated += 1
         else:
-            for obj_id, version in new:
+            for obj_id, version in self.notices[start:end]:
                 record: CopyRecord | None = copies.get(obj_id)
                 if record is None:
                     continue
@@ -535,7 +555,7 @@ class HomeBasedLRC:
             thread.cpu.protocol_ns += ns
             thread.clock._now_ns += ns
             self._c_invalidations.inc(invalidated)
-        return len(new)
+        return n_new
 
     def pending_notices(self, node_id: int) -> int:
         """Number of notices the node has not applied yet."""

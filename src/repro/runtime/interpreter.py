@@ -45,6 +45,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 SETSLOT_NS = 2
 
 
+def _make_vector_engine(interp: "Interpreter"):
+    """Build the vector replay engine, or None when numpy is absent
+    (scalar replay remains fully functional without it)."""
+    try:
+        from repro.runtime.vector import VectorEngine
+    except ImportError:  # pragma: no cover - numpy-less environments
+        return None
+    return VectorEngine(interp)
+
+
 class TimerHook(Protocol):
     """A profiler component driven by per-thread simulated timers.
 
@@ -73,9 +83,17 @@ class Interpreter:
         aux_capacity: int | None = None,
         sanitizer=None,
         racedetector=None,
+        replay: str = "vector",
     ) -> None:
         if not threads:
             raise ValueError("interpreter needs at least one thread")
+        if replay not in ("vector", "scalar"):
+            raise ValueError(f"replay must be 'vector' or 'scalar', got {replay!r}")
+        #: access replay mode: "vector" engages the bulk replay engine
+        #: (repro.runtime.vector) for eligible segments; "scalar" forces
+        #: per-op dispatch everywhere (the correctness oracle).
+        self.replay = replay
+        self._vector = None
         #: opt-in protocol invariant checker (observes event pops).
         self.sanitizer = sanitizer
         #: opt-in happens-before race detector (repro.checks.racedetect):
@@ -148,16 +166,33 @@ class Interpreter:
             self.hlrc.open_interval(thread)
         kernel = self.kernel
         sanitizer = self.sanitizer
+        # Vector replay engages only when nothing observes the per-op
+        # stream: the sanitizer and race detector both consume every
+        # access, so their presence forces the scalar oracle path.
+        if (
+            self._vector is None
+            and self.replay == "vector"
+            and sanitizer is None
+            and self.hlrc.sanitizer is None
+            and self.hlrc.racedetector is None
+        ):
+            self._vector = _make_vector_engine(self)
         self._schedule_runnable()
-        while True:
-            event = kernel.pop()
-            if event is None:
-                break
-            if sanitizer is not None:
-                sanitizer.on_event_pop(kernel.now_ns, event)
-            callback = event.callback
-            if callback is not None:
-                callback(event)
+        drain = getattr(kernel, "drain", None)
+        if drain is not None:
+            # Partitioned kernel: it owns the pop/dispatch loop so event
+            # execution is attributable per partition.
+            drain(sanitizer)
+        else:
+            while True:
+                event = kernel.pop()
+                if event is None:
+                    break
+                if sanitizer is not None:
+                    sanitizer.on_event_pop(kernel.now_ns, event)
+                callback = event.callback
+                if callback is not None:
+                    callback(event)
         waiting = [
             t
             for t in self.threads
@@ -323,13 +358,54 @@ class Interpreter:
         poll_hooks = poll_timers or deadline_mode or mig is not None
         record = self.kernel.record
         timer_fire = EventKind.TIMER_FIRE
+        # Vector replay engages per segment: per-op polled timers need
+        # the scalar loop, and profiler hooks must speak the fast
+        # single-hook protocol (the engine fires it at first touches).
+        vec = self._vector
+        vruns = None
+        vec_demoted = ()
+        if vec is not None and not poll_timers:
+            hl_hooks = self.hlrc.hooks
+            if not hl_hooks or (
+                len(hl_hooks) == 1 and hasattr(hl_hooks[0], "fast_on_access")
+            ):
+                vruns = program.vector_runs()
+                if not vruns:
+                    vruns = None
+                else:
+                    vec_demoted = vec.demoted
         start_i = i
+        # Run spans are non-overlapping and only a span's start index
+        # maps to a run, so once a run is taken scalar the per-op run
+        # lookup can sleep until its end.
+        vr_skip = -1
         try:
             # ``thread.pc`` is only observed at scheduling points (sync
             # dispatch, timer/migration polls, interval close, errors),
             # so the cursor stays in the local ``i`` during straight-line
             # runs and is published right before any of those.
             while i < n_ops:
+                if vruns is not None and i >= vr_skip:
+                    vr = vruns.get(i)
+                    # A pending migration plan needs per-op pc triggers,
+                    # and runs the engine demoted (repeatedly majority-
+                    # slow) replay cheaper in the scalar loop.
+                    if vr is not None:
+                        if vr not in vec_demoted and not (
+                            mig_pending and tid in mig_pending
+                        ):
+                            if vr.hot:
+                                i, nd = vec.execute(
+                                    thread, vr, next_deadline if deadline_mode else -1
+                                )
+                                if deadline_mode:
+                                    next_deadline = nd
+                                continue
+                            # First sighting: warm up scalar — one-shot
+                            # runs never amortize the lane build, and
+                            # re-executed runs pay one pass of it.
+                            vr.hot = True
+                        vr_skip = vr.end
                 op = ops[i]
                 i += 1
                 code = op[0]

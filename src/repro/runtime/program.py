@@ -25,6 +25,7 @@ BARRIER   (OP_BARRIER, barrier_id)
 
 from __future__ import annotations
 
+import re
 from typing import Iterable, Iterator
 
 OP_READ = 0
@@ -51,6 +52,146 @@ OPCODE_NAMES = {
 
 Op = tuple
 
+#: shortest READ/WRITE/COMPUTE span worth replaying in bulk — below this
+#: the vector engine's fixed per-run overhead beats the scalar loop.
+MIN_VECTOR_RUN = 6
+
+#: maximal spans of access-stream opcodes (READ=0, WRITE=1, COMPUTE=2)
+#: found at C speed over the dense opcode array.
+_ACCESS_RUN_RE = re.compile(rb"[\x00-\x02]+")
+
+
+class AccessRun:
+    """One maximal READ/WRITE/COMPUTE span of a compiled program.
+
+    The vector replay engine (:mod:`repro.runtime.vector`) executes such
+    a span as array passes instead of per-op dispatch.  Everything that
+    can be decided from the ops alone is computed by
+    :meth:`materialize`, once per run: the per-object aggregate lanes
+    (total reads/writes, written elements, last-access position) and the
+    **checkpoints** — the run's slow lane: each object's run-local first
+    access (where a coherence probe, and possibly a fault, must happen)
+    and first write (where a twin may be created).  Every op outside the
+    checkpoint set is guaranteed to be a cache hit or pure compute
+    *given* the checkpoint outcomes, because copy state cannot change
+    inside a segment.
+
+    Construction only records the span: the lane build is a Python-speed
+    pass over every op, which for a program of one-shot runs can cost
+    more than executing the ops, so the engine defers it until a run
+    actually vectorizes (the interpreter's ``hot`` warm-up gate).
+
+    Cost arrays depend on the :class:`~repro.sim.costs.CostModel` and
+    are attached lazily by the engine (``_cost_key`` / ``_costed``).
+    """
+
+    __slots__ = (
+        "start",
+        "end",
+        "n_ops",
+        "ops",
+        "uniq",
+        "u_reads",
+        "u_writes",
+        "u_welems",
+        "u_wops",
+        "u_first",
+        "u_firstw",
+        "u_last",
+        "w_ks",
+        "w_oids",
+        "checkpoints",
+        "_cost_key",
+        "_costed",
+        "hot",
+    )
+
+    def __init__(self, all_ops: tuple, start: int, end: int) -> None:
+        #: absolute op-index span [start, end) in the program.
+        self.start = start
+        self.end = end
+        self.n_ops = end - start
+        self.ops = all_ops[start:end]
+        #: lanes are built lazily; ``uniq is None`` marks a stub.
+        self.uniq = None
+        self._cost_key = None
+        self._costed = None
+        #: warm-up flag: the interpreter executes each run's first
+        #: sighting through the scalar loop (one-shot runs never earn
+        #: back the lane build) and vectorizes from the second on, so
+        #: repeated executions — including other DJVM instances reusing
+        #: the compiled program, as the bench harness does — go bulk.
+        self.hot = False
+
+    def materialize(self) -> "AccessRun":
+        """Build the per-object aggregate lanes (idempotent)."""
+        if self.uniq is not None:
+            return self
+        ops = self.ops
+        uniq: list[int] = []
+        index: dict[int, int] = {}
+        u_reads: list[int] = []
+        u_writes: list[int] = []
+        u_welems: list[int] = []
+        u_wops: list[int] = []
+        u_first: list[int] = []
+        u_firstw: list[int] = []
+        u_last: list[int] = []
+        cps: dict[int, tuple[int, bool, bool]] = {}
+        for j, op in enumerate(ops):
+            code = op[0]
+            if code == OP_COMPUTE:
+                continue
+            oid = op[1]
+            k = index.get(oid)
+            if k is None:
+                k = len(uniq)
+                index[oid] = k
+                uniq.append(oid)
+                u_reads.append(0)
+                u_writes.append(0)
+                u_welems.append(0)
+                u_wops.append(0)
+                u_first.append(j)
+                u_firstw.append(-1)
+                u_last.append(j)
+                cps[j] = (k, True, code == OP_WRITE)
+            else:
+                u_last[k] = j
+            if code == OP_WRITE:
+                if u_wops[k] == 0:
+                    u_firstw[k] = j
+                    if j not in cps:
+                        # First write after a read first-touch: twin point.
+                        cps[j] = (k, False, True)
+                u_writes[k] += op[3]
+                u_welems[k] += op[2]
+                u_wops[k] += 1
+            else:
+                u_reads[k] += op[3]
+        #: distinct object ids in first-access order (the order the
+        #: interval's access-summary dict must be populated in).
+        self.uniq = uniq
+        #: per-uniq aggregate lanes (total repeats / written elements /
+        #: write ops / run-local indexes of the first and last access).
+        self.u_reads = u_reads
+        self.u_writes = u_writes
+        self.u_welems = u_welems
+        self.u_wops = u_wops
+        self.u_first = u_first
+        self.u_firstw = u_firstw
+        self.u_last = u_last
+        #: written subset: uniq indexes and object ids with >= 1 write,
+        #: for the engine's summary-free bookkeeping path.
+        self.w_ks = tuple(k for k, wo in enumerate(u_wops) if wo)
+        self.w_oids = tuple(uniq[k] for k in self.w_ks)
+        #: run-local slow lane: (rel_idx, uniq_idx, first_access,
+        #: check_write) in op order.
+        self.checkpoints = tuple(
+            (j, k, fa, cw) for j, (k, fa, cw) in sorted(cps.items())
+        )
+        return self
+
 
 class CompiledProgram:
     """A pre-decoded thread program: the dense form the interpreter runs.
@@ -63,7 +204,7 @@ class CompiledProgram:
     plain cursor (the thread's ``pc``) rather than iterator state.
     """
 
-    __slots__ = ("ops", "codes", "n_ops")
+    __slots__ = ("ops", "codes", "n_ops", "_vruns")
 
     def __init__(self, ops: Iterable[Op]) -> None:
         decoded = tuple(ops) if not isinstance(ops, tuple) else ops
@@ -77,12 +218,31 @@ class CompiledProgram:
         #: dense per-op opcode array (one byte per op).
         self.codes = codes
         self.n_ops = len(decoded)
+        self._vruns: dict[int, AccessRun] | None = None
 
     def __len__(self) -> int:
         return self.n_ops
 
     def __iter__(self) -> Iterator[Op]:
         return iter(self.ops)
+
+    def vector_runs(self, min_len: int = MIN_VECTOR_RUN) -> dict[int, AccessRun]:
+        """Extract (and cache) the program's vectorizable access runs.
+
+        Returns ``{start_pc: AccessRun}`` for every maximal
+        READ/WRITE/COMPUTE span of at least ``min_len`` ops.  The regex
+        scan over the dense opcode array finds span boundaries at C
+        speed; per-run lane extraction happens once per program.
+        """
+        runs = self._vruns
+        if runs is None:
+            runs = {}
+            for m in _ACCESS_RUN_RE.finditer(self.codes):
+                s, e = m.start(), m.end()
+                if e - s >= min_len:
+                    runs[s] = AccessRun(self.ops, s, e)
+            self._vruns = runs
+        return runs
 
     def opcode_counts(self) -> dict[int, int]:
         """Histogram {opcode: occurrences} (for reporting/tooling)."""

@@ -1,0 +1,356 @@
+"""Conservative parallel (PDES) partitioning of the event kernel.
+
+The :class:`PartitionedEventLoop` shards the serial
+:class:`~repro.sim.events.EventLoop` into per-node-group partitions,
+each with its own event heap, merged through a *frontier* heap of
+partition heads.  Pops still occur in exactly the serial kernel's global
+``(time_ns, seq)`` order — byte-identity with the serial oracle holds by
+construction — while the kernel tracks the conservative-PDES quantities
+that bound how far each partition could safely run ahead:
+
+LBTS / lookahead protocol
+-------------------------
+
+* A partition's **LBTS** (lower bound on timestamp) is the time of its
+  earliest pending event; the global *floor* is the minimum LBTS over
+  all partitions — exactly the frontier head.
+* The network's minimum one-way latency is the **lookahead**: an event
+  executing at time ``t`` cannot cause another partition to receive a
+  message before ``t + lookahead``.  Each pop therefore opens (or
+  extends) a **safe window** ``[floor, floor + lookahead]`` — every
+  event inside it is causally independent across partitions and could
+  execute concurrently.
+* Cross-partition ``MESSAGE_DELIVER`` events are counted at schedule
+  time; deliveries that land *under* the lookahead bound (zero-payload
+  piggybacked messages ride a carrier with no latency of their own) are
+  counted as ``lookahead_violations`` — the carrier-coupled deliveries a
+  stage-2 distributed kernel must exchange at window boundaries rather
+  than assume covered by lookahead.
+
+Event execution is delegated to the sanctioned worker harness
+(:class:`~repro.sim.workerpool.InlineWorkerPool`); this module itself
+never touches wall clocks or process APIs (simlint SIM010).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.sim.events import Event, EventKind, EventLoop
+from repro.sim.workerpool import InlineWorkerPool
+
+
+class NodeGroupPartitioner:
+    """Maps events to partitions by contiguous node blocks.
+
+    Thread-actor events (``SEGMENT_END`` / ``TIMER_FIRE`` /
+    ``MIGRATION_CHECK``) follow the thread's *current* node — a migrated
+    thread's later events route to its new partition.  ``MESSAGE_DELIVER``
+    follows the destination node; ``BARRIER_RELEASE`` executes at the
+    master node's partition.
+    """
+
+    __slots__ = ("n_nodes", "n_partitions", "master_node", "_node_of_thread")
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_partitions: int,
+        *,
+        node_of_thread: Callable[[int], int],
+        master_node: int = 0,
+    ) -> None:
+        if not 1 <= n_partitions <= n_nodes:
+            raise ValueError(
+                f"need 1 <= partitions <= nodes, got {n_partitions} over {n_nodes}"
+            )
+        self.n_nodes = n_nodes
+        self.n_partitions = n_partitions
+        self.master_node = master_node
+        self._node_of_thread = node_of_thread
+
+    def of_node(self, node_id: int) -> int:
+        """Partition owning ``node_id`` (contiguous blocks, same split as
+        the DJVM's "block" thread placement)."""
+        pid = node_id * self.n_partitions // self.n_nodes
+        last = self.n_partitions - 1
+        return pid if pid < last else last
+
+    def of_event(self, kind: EventKind, actor: int) -> int:
+        """Partition an event with the given kind/actor executes in."""
+        if kind is EventKind.MESSAGE_DELIVER:
+            return self.of_node(actor)
+        if kind is EventKind.BARRIER_RELEASE:
+            return self.of_node(self.master_node)
+        # SEGMENT_END / TIMER_FIRE / MIGRATION_CHECK carry a thread actor.
+        if actor >= 0:
+            return self.of_node(self._node_of_thread(actor))
+        return 0
+
+
+class PartitionedEventLoop(EventLoop):
+    """Per-partition heaps merged by a frontier heap (see module doc).
+
+    Drop-in replacement for :class:`EventLoop`: same scheduling API,
+    identical global pop order.  The extra state is the partition
+    routing, the safe-window accounting, and the worker pool that
+    executes dispatched events.
+    """
+
+    __slots__ = (
+        "partitioner",
+        "n_partitions",
+        "lookahead_ns",
+        "pool",
+        "_pheaps",
+        "_frontier",
+        "_last_partition",
+        "_origin_pid",
+        "_window_end_ns",
+        "_window_events",
+        "windows",
+        "max_window_events",
+        "null_window_slots",
+        "cross_messages",
+        "intra_messages",
+        "lookahead_violations",
+        "frontier_syncs",
+        "max_skew_ns",
+    )
+
+    def __init__(
+        self,
+        partitioner: NodeGroupPartitioner,
+        *,
+        lookahead_ns: int = 0,
+        keep_trace: bool = False,
+        aux_capacity: int | None = None,
+        pool: InlineWorkerPool | None = None,
+    ) -> None:
+        super().__init__(keep_trace=keep_trace, aux_capacity=aux_capacity)
+        if lookahead_ns < 0:
+            raise ValueError(f"lookahead must be >= 0, got {lookahead_ns}")
+        self.partitioner = partitioner
+        self.n_partitions = partitioner.n_partitions
+        #: conservative lookahead bound (the fabric's fastest hop, ns).
+        self.lookahead_ns = int(lookahead_ns)
+        #: sanctioned worker harness executing dispatched events.
+        self.pool = pool if pool is not None else InlineWorkerPool(self.n_partitions)
+        #: one event heap per partition.
+        self._pheaps: list[list[tuple[int, int, Event]]] = [
+            [] for _ in range(self.n_partitions)
+        ]
+        #: heap of (time_ns, seq, partition) partition-head keys; entries
+        #: go stale lazily when a head is popped or superseded.
+        self._frontier: list[tuple[int, int, int]] = []
+        self._last_partition = 0
+        #: partition whose event callback is currently executing (None
+        #: outside drain) — the origin for cross-partition accounting.
+        self._origin_pid: int | None = None
+        # --- safe-window accounting -----------------------------------
+        self._window_end_ns = -1
+        self._window_events = 0
+        #: safe windows opened (LBTS advances past the previous bound).
+        self.windows = 0
+        #: most events any single window executed.
+        self.max_window_events = 0
+        #: (window x idle partition) slots: partitions with nothing to do
+        #: inside a window — the null-message overhead a distributed
+        #: kernel would pay to keep them synchronized.
+        self.null_window_slots = 0
+        #: events scheduled across a partition boundary (messages a
+        #: distributed kernel would exchange between partitions).
+        self.cross_messages = 0
+        #: events scheduled within their origin partition.
+        self.intra_messages = 0
+        #: cross-partition deliveries landing under the lookahead bound
+        #: (zero-latency piggybacked payloads riding a carrier).
+        self.lookahead_violations = 0
+        #: frontier maintenance operations (the same-process analogue of
+        #: null-message/sync traffic between partitions).
+        self.frontier_syncs = 0
+        #: largest spread between the global floor and a partition's
+        #: LBTS observed at a window open (how far ahead the busiest
+        #: partition could run).
+        self.max_skew_ns = 0
+
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        kind: EventKind,
+        time_ns: int,
+        actor: int = -1,
+        data: Any = None,
+        callback: "Callable[[Event], None] | None" = None,
+    ) -> Event:
+        """Queue an event into its partition's heap; publishes the key to
+        the frontier when it becomes the partition's new head."""
+        if time_ns < 0:
+            raise ValueError(f"cannot schedule an event at negative time {time_ns}")
+        event = Event(int(time_ns), self._seq, kind, actor, data, callback)
+        self._seq += 1
+        self.scheduled += 1
+        pid = self.partitioner.of_event(kind, actor)
+        # Origin partition: a MESSAGE_DELIVER carries its source node;
+        # any other event scheduled from inside a drain callback
+        # originates in the partition that callback executes in.  Both
+        # are the messages a distributed (stage-2) kernel would put on
+        # the wire when origin and target partitions differ.
+        if kind is EventKind.MESSAGE_DELIVER:
+            src = getattr(data, "src", None)
+            origin = self.partitioner.of_node(src) if src is not None else self._origin_pid
+        else:
+            origin = self._origin_pid
+        if origin is not None:
+            if origin != pid:
+                self.cross_messages += 1
+                if (
+                    kind is EventKind.MESSAGE_DELIVER
+                    and event.time_ns < self.now_ns + self.lookahead_ns
+                ):
+                    self.lookahead_violations += 1
+            else:
+                self.intra_messages += 1
+        heap = self._pheaps[pid]
+        heapq.heappush(heap, (event.time_ns, event.seq, event))
+        if heap[0][2] is event:
+            heapq.heappush(self._frontier, (event.time_ns, event.seq, pid))
+            self.frontier_syncs += 1
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the globally earliest live event.
+
+        Identical order to the serial kernel: the frontier's minimum key
+        is the minimum over partition heads, and every partition heap
+        preserves ``(time_ns, seq)`` order internally.
+        """
+        frontier = self._frontier
+        pheaps = self._pheaps
+        while frontier:
+            time_ns, seq, pid = heapq.heappop(frontier)
+            heap = pheaps[pid]
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
+            if not heap:
+                continue
+            head = heap[0]
+            if head[0] != time_ns or head[1] != seq:
+                # Stale key (head popped/cancelled since published);
+                # re-publish the partition's true head and retry.
+                heapq.heappush(frontier, (head[0], head[1], pid))
+                self.frontier_syncs += 1
+                continue
+            heapq.heappop(heap)
+            event = head[2]
+            if heap:
+                nxt = heap[0]
+                heapq.heappush(frontier, (nxt[0], nxt[1], pid))
+                self.frontier_syncs += 1
+            self._last_partition = pid
+            if event.time_ns > self.now_ns:
+                self.now_ns = event.time_ns
+            self.popped += 1
+            self._account_window(event.time_ns)
+            if self.keep_trace:
+                self.trace.append(event.trace_entry())
+            return event
+        return None
+
+    def _account_window(self, time_ns: int) -> None:
+        """Fold one pop into the safe-window statistics."""
+        if time_ns > self._window_end_ns:
+            # LBTS advanced past the bound: close the window, open a new
+            # one at the new floor.
+            if self.windows and self._window_events > self.max_window_events:
+                self.max_window_events = self._window_events
+            self.windows += 1
+            self._window_events = 0
+            self._window_end_ns = time_ns + self.lookahead_ns
+            bound = self._window_end_ns
+            skew_floor = time_ns
+            max_head = skew_floor
+            idle = 0
+            for heap in self._pheaps:
+                if heap:
+                    head_ns = heap[0][0]
+                    if head_ns > max_head:
+                        max_head = head_ns
+                    if head_ns > bound:
+                        idle += 1
+                else:
+                    idle += 1
+            self.null_window_slots += idle
+            skew = max_head - skew_floor
+            if skew > self.max_skew_ns:
+                self.max_skew_ns = skew
+        self._window_events += 1
+
+    def drain(self, sanitizer=None) -> int:
+        """Pop every event in global order and execute callbacks through
+        the worker pool; returns the number of events processed.  The
+        interpreter's run loop delegates here when this kernel is
+        attached, so execution is attributable per partition."""
+        pool = self.pool
+        n = 0
+        while True:
+            event = self.pop()
+            if event is None:
+                if self._window_events > self.max_window_events:
+                    self.max_window_events = self._window_events
+                return n
+            if sanitizer is not None:
+                sanitizer.on_event_pop(self.now_ns, event)
+            callback = event.callback
+            if callback is not None:
+                self._origin_pid = self._last_partition
+                try:
+                    pool.run(self._last_partition, callback, event)
+                finally:
+                    self._origin_pid = None
+            n += 1
+
+    def stats(self) -> dict[str, int]:
+        """Window/partition statistics snapshot (telemetry collector)."""
+        return {
+            "partitions": self.n_partitions,
+            "lookahead_ns": self.lookahead_ns,
+            "windows": self.windows,
+            "max_window_events": max(self.max_window_events, self._window_events),
+            "null_window_slots": self.null_window_slots,
+            "cross_messages": self.cross_messages,
+            "intra_messages": self.intra_messages,
+            "lookahead_violations": self.lookahead_violations,
+            "frontier_syncs": self.frontier_syncs,
+            "max_skew_ns": self.max_skew_ns,
+        }
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(
+            1 for heap in self._pheaps for _, _, e in heap if not e.cancelled
+        )
+
+    def __bool__(self) -> bool:
+        return any(
+            not e.cancelled for heap in self._pheaps for _, _, e in heap
+        )
+
+    def peek_time_ns(self) -> int | None:
+        """Time of the next live event, or None when idle."""
+        best: int | None = None
+        for heap in self._pheaps:
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
+            if heap and (best is None or heap[0][0] < best):
+                best = heap[0][0]
+        return best
+
+    def pending(self):
+        """Iterate live scheduled events (partition, then heap order)."""
+        return (
+            e for heap in self._pheaps for _, _, e in heap if not e.cancelled
+        )

@@ -1,0 +1,64 @@
+"""Sanctioned worker harness for the partitioned event kernel.
+
+The conservative-PDES kernel (:mod:`repro.sim.partition`) never executes
+an event itself — it hands each dispatch to a *worker pool* through the
+narrow contract below.  This module is the **only** place in the
+simulator's partition-worker layer allowed to touch wall clocks or
+OS-level process machinery (processes, signals, host threads); simlint
+rule SIM010 enforces that boundary, so the kernel stays deterministic by
+construction no matter which pool backs it.
+
+Stage 1 (this module): :class:`InlineWorkerPool` executes events
+synchronously in the exact global ``(time_ns, seq)`` order the kernel
+pops them — byte-identical to the serial kernel — while accounting
+per-partition execution so window skew is observable.
+
+Stage 2 (the seam this contract reserves): a process-backed pool may run
+one worker per partition and execute a safe window's per-partition
+batches concurrently.  That is sound only once all shared protocol state
+(the global notice log, home-version bumps, lock grants) is exchanged as
+messages at window boundaries; until then any such pool must replay
+results in submission order to preserve the determinism contract.  The
+partitioned kernel already counts the events that would violate a true
+distributed lookahead (zero-latency piggybacked cross-partition
+deliveries) so the migration cost of stage 2 is measurable today.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.events import Event
+
+
+class InlineWorkerPool:
+    """Same-process pool: runs each event inline, in submission order.
+
+    The pool's observable contract — and what any future backend must
+    preserve — is that ``run`` completes the event's callback before
+    returning, and that completion order equals submission order.
+    """
+
+    __slots__ = ("n_partitions", "executed_by_partition")
+
+    def __init__(self, n_partitions: int) -> None:
+        if n_partitions < 1:
+            raise ValueError(f"need at least one partition, got {n_partitions}")
+        self.n_partitions = n_partitions
+        #: events executed per partition (window-skew accounting).
+        self.executed_by_partition = [0] * n_partitions
+
+    def run(self, partition: int, callback: Callable[[Event], None], event: Event) -> None:
+        """Execute one event's callback on behalf of ``partition``."""
+        self.executed_by_partition[partition] += 1
+        callback(event)
+
+    @property
+    def executed_total(self) -> int:
+        """Events executed across all partitions."""
+        return sum(self.executed_by_partition)
+
+    @property
+    def max_partition_load(self) -> int:
+        """Largest per-partition execution count (load imbalance probe)."""
+        return max(self.executed_by_partition)

@@ -343,6 +343,61 @@ def test_sim009_disabled():
 
 
 # ---------------------------------------------------------------------------
+# SIM010: process machinery in partition-worker modules
+# ---------------------------------------------------------------------------
+
+#: a partition-worker module (SIM010 scope).
+WORKERISH = "src/repro/sim/partition.py"
+#: the sanctioned worker harness (SIM010's single exemption).
+HARNESS = "src/repro/sim/workerpool.py"
+
+
+def test_sim010_positive_import_multiprocessing():
+    src = "import multiprocessing\n"
+    assert "SIM010" in codes(src, WORKERISH)
+
+
+def test_sim010_positive_from_import():
+    src = "from concurrent.futures import ProcessPoolExecutor\n"
+    assert "SIM010" in codes(src, WORKERISH)
+
+
+def test_sim010_positive_os_fork():
+    src = "import os\n\ndef f():\n    return os.fork()\n"
+    assert "SIM010" in codes(src, WORKERISH)
+
+
+def test_sim010_positive_time_sleep():
+    src = "import time\n\ndef f():\n    time.sleep(0.1)\n"
+    assert "SIM010" in codes(src, WORKERISH)
+
+
+def test_sim010_negative_harness_exempt():
+    src = "import multiprocessing\n"
+    assert "SIM010" not in codes(src, HARNESS)
+
+
+def test_sim010_negative_outside_worker_scope():
+    src = "import multiprocessing\n"
+    assert "SIM010" not in codes(src, OUTSIDE)
+
+
+def test_sim010_negative_testish():
+    src = "import multiprocessing\n"
+    assert "SIM010" not in codes(src, "tests/sim/test_partition.py")
+
+
+def test_sim010_negative_clean_worker():
+    src = "def f(kernel):\n    return kernel.drain()\n"
+    assert codes(src, WORKERISH) == []
+
+
+def test_sim010_disabled():
+    src = "import multiprocessing  # simlint: disable=SIM010\n"
+    assert codes(src, WORKERISH) == []
+
+
+# ---------------------------------------------------------------------------
 # engine behaviour
 # ---------------------------------------------------------------------------
 
@@ -370,7 +425,7 @@ def test_syntax_error_reported_not_raised():
 
 
 def test_every_rule_has_catalog_entry():
-    assert set(RULES) == {f"SIM00{i}" for i in range(1, 10)}
+    assert set(RULES) == {f"SIM00{i}" for i in range(1, 10)} | {"SIM010"}
 
 
 def test_repo_tree_is_clean():

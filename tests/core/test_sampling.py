@@ -240,3 +240,53 @@ class TestDecisionCacheStaleness:
         policy2.set_nominal_gap(arr_cls, 7)
         old = [policy2.decision(a) for a in arrs]
         assert [policy.decision(a) for a in arrs] != old
+
+
+class TestBatchDecisions:
+    """decide_batch mirrors decision() exactly and shares its memo."""
+
+    def test_batch_matches_scalar_in_order(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body = gos.registry.get("Body")
+        arr = gos.registry.get("double[]")
+        policy.set_nominal_gap(body, 5)
+        policy.set_nominal_gap(arr, 7)
+        objs = [gos.allocate(body, 0) for _ in range(30)]
+        objs += [gos.allocate(arr, 0, length=40) for _ in range(10)]
+        objs += objs[:7]  # repeats exercise the memo
+        assert policy.decide_batch(objs) == [policy.decision(o) for o in objs]
+
+    def test_batch_respects_epoch_invalidation(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body = gos.registry.get("Body")
+        objs = [gos.allocate(body, 0) for _ in range(16)]
+        policy.set_nominal_gap(body, 5)
+        before = policy.decide_batch(objs)
+        policy.set_nominal_gap(body, 13)
+        after = policy.decide_batch(objs)
+        assert after != before
+        assert after == [policy.decision(o) for o in objs]
+
+    def test_batch_interleaved_classes(self):
+        """Class changes mid-batch reload the right per-class state."""
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body = gos.registry.get("Body")
+        arr = gos.registry.get("double[]")
+        policy.set_nominal_gap(body, 5)
+        policy.set_nominal_gap(arr, 7)
+        mixed = []
+        for i in range(12):
+            mixed.append(gos.allocate(body, 0))
+            mixed.append(gos.allocate(arr, 0, length=25))
+        assert policy.decide_batch(mixed) == [policy.decision(o) for o in mixed]
+
+    def test_batch_on_unseen_class_creates_state(self):
+        gos = gos_with_classes()
+        policy = SamplingPolicy()
+        body = gos.registry.get("Body")
+        objs = [gos.allocate(body, 0) for _ in range(4)]
+        out = policy.decide_batch(objs)
+        assert all(sampled for sampled, _, _ in out)  # default gap 1

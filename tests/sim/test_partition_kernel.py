@@ -1,0 +1,308 @@
+"""Conservative partitioned event kernel (PDES stage 1).
+
+Three layers of guarantees:
+
+* **Byte-identity** — the partitioned kernel (with vectorized replay)
+  must reproduce the serial oracle's simulation exactly: counters,
+  clocks, traffic, and the full per-interval access history, on every
+  paper workload, at 2 and 4 partitions.
+* **LBTS / lookahead edge cases** — a cross-partition delivery landing
+  *exactly* on the lookahead bound is safe; one landing under it (the
+  zero-latency piggybacked payload) is a counted violation.
+* **Accounting sanity** — window, skew and frontier statistics behave.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import program
+from repro.runtime.djvm import DJVM
+from repro.sim.events import EventKind, EventLoop
+from repro.sim.network import Message, MessageKind
+from repro.sim.partition import NodeGroupPartitioner, PartitionedEventLoop
+from repro.workloads.barnes_hut import BarnesHutWorkload
+from repro.workloads.sor import SORWorkload
+from repro.workloads.water_spatial import WaterSpatialWorkload
+
+# ---------------------------------------------------------------------------
+# byte-identity with the serial oracle
+# ---------------------------------------------------------------------------
+
+N_NODES = 4
+
+WORKLOADS = {
+    "sor": lambda: SORWorkload(n=128, rounds=2, n_threads=N_NODES, seed=3),
+    "barnes_hut": lambda: BarnesHutWorkload(
+        n_bodies=96, rounds=2, n_threads=N_NODES, seed=3
+    ),
+    "water_spatial": lambda: WaterSpatialWorkload(
+        n_molecules=64, rounds=2, n_threads=N_NODES, seed=3
+    ),
+}
+
+
+def fingerprint(djvm: DJVM, res) -> dict:
+    """Every observable the simulation produced, including the full
+    interval history (so access summaries — order included — must match,
+    not just the aggregate counters)."""
+    history = {}
+    for tid, intervals in sorted(djvm.hlrc.interval_history.items()):
+        history[tid] = [
+            (
+                iv.interval_id,
+                iv.start_pc,
+                iv.end_pc,
+                iv.start_ns,
+                iv.end_ns,
+                iv.close_reason,
+                tuple(
+                    (s.obj_id, s.reads, s.writes, s.first_ns, s.last_ns)
+                    for s in iv.accesses.values()
+                ),
+                tuple(sorted(iv.written)),
+            )
+            for iv in intervals
+        ]
+    return {
+        "counters": dict(sorted(res.counters.items())),
+        "finish_ms": dict(sorted(res.thread_finish_ms.items())),
+        "ops": res.ops_executed,
+        "messages": res.traffic.messages,
+        "by_kind": sorted(
+            (str(k), tuple(v)) for k, v in res.traffic._by_kind.items()
+        ),
+        "history": history,
+    }
+
+
+def run_mode(name: str, **kwargs) -> dict:
+    djvm = DJVM(N_NODES, keep_interval_history=True, **kwargs)
+    workload = WORKLOADS[name]()
+    workload.build(djvm)
+    progs = {
+        tid: program.compile_program(ops)
+        for tid, ops in workload.programs().items()
+    }
+    if kwargs.get("replay", djvm.replay) == "vector":
+        # One-shot programs would otherwise warm up scalar everywhere;
+        # pre-marking runs hot forces the engine through the bulk path.
+        for cp in progs.values():
+            for vr in cp.vector_runs().values():
+                vr.hot = True
+    return fingerprint(djvm, djvm.run(progs))
+
+
+_serial_cache: dict[str, dict] = {}
+
+
+def serial_oracle(name: str) -> dict:
+    if name not in _serial_cache:
+        _serial_cache[name] = run_mode(name, kernel="serial", replay="scalar")
+    return _serial_cache[name]
+
+
+@pytest.mark.parametrize("partitions", [2, 4])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_partitioned_kernel_matches_serial_oracle(name, partitions):
+    parallel = run_mode(name, kernel="partitioned", partitions=partitions)
+    assert parallel == serial_oracle(name)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_vector_replay_matches_scalar_on_workloads(name):
+    """Vectorized replay alone (serial kernel) is also byte-identical."""
+    assert run_mode(name, replay="vector") == serial_oracle(name)
+
+
+def test_partitioned_run_reports_stats():
+    djvm = DJVM(N_NODES, kernel="partitioned", partitions=2)
+    workload = WORKLOADS["sor"]()
+    workload.build(djvm)
+    djvm.run(workload.programs())
+    stats = djvm.kernel_stats
+    assert stats["partitions"] == 2
+    assert stats["windows"] > 0
+    assert stats["cross_messages"] > 0
+    assert stats["frontier_syncs"] > 0
+    assert stats["lookahead_ns"] == djvm.cluster.network.min_latency_ns
+
+
+def test_serial_kernel_has_no_partition_stats():
+    djvm = DJVM(2)
+    assert djvm.kernel_stats is None
+
+
+# ---------------------------------------------------------------------------
+# pop order: identical to the serial kernel by construction
+# ---------------------------------------------------------------------------
+
+
+def make_loop(
+    n_nodes: int = 4, partitions: int = 2, lookahead: int = 100
+) -> PartitionedEventLoop:
+    part = NodeGroupPartitioner(
+        n_nodes, partitions, node_of_thread=lambda tid: tid % n_nodes
+    )
+    return PartitionedEventLoop(part, lookahead_ns=lookahead)
+
+
+def test_global_pop_order_matches_serial_kernel():
+    serial = EventLoop()
+    parallel = make_loop()
+    # Interleave actors across partitions with ties on time.
+    plan = [
+        (EventKind.SEGMENT_END, 30, 3),
+        (EventKind.SEGMENT_END, 10, 0),
+        (EventKind.SEGMENT_END, 10, 2),
+        (EventKind.TIMER_FIRE, 5, 1),
+        (EventKind.SEGMENT_END, 30, 0),
+        (EventKind.MIGRATION_CHECK, 10, 3),
+    ]
+    for kind, t, actor in plan:
+        serial.schedule(kind, t, actor=actor)
+        parallel.schedule(kind, t, actor=actor)
+    expect = [(e.time_ns, e.seq, e.kind, e.actor) for e in iter(serial.pop, None)]
+    got = [(e.time_ns, e.seq, e.kind, e.actor) for e in iter(parallel.pop, None)]
+    assert got == expect
+
+
+def test_cancelled_head_skipped_and_frontier_recovers():
+    loop = make_loop()
+    first = loop.schedule(EventKind.SEGMENT_END, 5, actor=0)
+    second = loop.schedule(EventKind.SEGMENT_END, 9, actor=0)
+    other = loop.schedule(EventKind.SEGMENT_END, 7, actor=3)
+    loop.cancel(first)
+    assert len(loop) == 2
+    assert loop.pop() is other
+    assert loop.pop() is second
+    assert loop.pop() is None
+
+
+def test_peek_time_spans_partitions():
+    loop = make_loop()
+    loop.schedule(EventKind.SEGMENT_END, 40, actor=0)
+    loop.schedule(EventKind.SEGMENT_END, 15, actor=3)
+    assert loop.peek_time_ns() == 15
+
+
+# ---------------------------------------------------------------------------
+# LBTS / lookahead boundary cases
+# ---------------------------------------------------------------------------
+
+
+def deliver(dst: int, time_ns: int, *, src: int = 0, piggybacked: bool = False):
+    """A MESSAGE_DELIVER payload as the network schedules them."""
+    return Message(
+        kind=MessageKind.OBJECT_FETCH_DATA,
+        src=src,
+        dst=dst,
+        size_bytes=0 if piggybacked else 64,
+        time_ns=time_ns,
+        piggybacked=piggybacked,
+    )
+
+
+def test_delivery_exactly_on_lookahead_bound_is_safe():
+    """A message landing exactly at ``now + lookahead`` is the earliest
+    arrival conservative lookahead promises — not a violation."""
+    loop = make_loop(lookahead=100)
+
+    def cb(event):
+        t = loop.now_ns + 100
+        loop.schedule(
+            EventKind.MESSAGE_DELIVER, t, actor=3, data=deliver(3, t)
+        )
+
+    loop.schedule(EventKind.SEGMENT_END, 10, actor=0, callback=cb)
+    loop.drain()
+    assert loop.cross_messages == 1
+    assert loop.lookahead_violations == 0
+
+
+def test_zero_payload_piggyback_under_lookahead_is_violation():
+    """A zero-latency piggybacked payload crossing partitions lands under
+    the lookahead bound — counted as the sync a stage-2 kernel must add."""
+    loop = make_loop(lookahead=100)
+
+    def cb(event):
+        t = loop.now_ns  # rides a carrier: no latency of its own
+        loop.schedule(
+            EventKind.MESSAGE_DELIVER,
+            t,
+            actor=3,
+            data=deliver(3, t, piggybacked=True),
+        )
+
+    loop.schedule(EventKind.SEGMENT_END, 10, actor=0, callback=cb)
+    loop.drain()
+    assert loop.cross_messages == 1
+    assert loop.lookahead_violations == 1
+
+
+def test_intra_partition_delivery_not_counted_as_cross():
+    loop = make_loop(lookahead=100)
+
+    def cb(event):
+        t = loop.now_ns + 100
+        # src node 0 and dst node 1 share partition 0 of 2.
+        loop.schedule(
+            EventKind.MESSAGE_DELIVER, t, actor=1, data=deliver(1, t, src=0)
+        )
+
+    loop.schedule(EventKind.SEGMENT_END, 10, actor=0, callback=cb)
+    loop.drain()
+    assert loop.cross_messages == 0
+    assert loop.intra_messages == 1
+    assert loop.lookahead_violations == 0
+
+
+def test_schedule_outside_drain_has_no_origin():
+    """Root events (workload injection, run setup) have no origin
+    partition and are neither cross nor intra messages."""
+    loop = make_loop()
+    loop.schedule(EventKind.SEGMENT_END, 10, actor=0)
+    loop.schedule(EventKind.SEGMENT_END, 10, actor=3)
+    assert loop.cross_messages == 0
+    assert loop.intra_messages == 0
+
+
+# ---------------------------------------------------------------------------
+# window accounting and partitioner routing
+# ---------------------------------------------------------------------------
+
+
+def test_window_and_skew_accounting():
+    loop = make_loop(lookahead=100)
+    # Window 1: both partitions busy at the floor.
+    loop.schedule(EventKind.SEGMENT_END, 0, actor=0)
+    loop.schedule(EventKind.SEGMENT_END, 50, actor=3)
+    # Window 2: only partition 0 busy; partition 1 idles (null slot).
+    loop.schedule(EventKind.SEGMENT_END, 500, actor=0)
+    loop.drain()
+    stats = loop.stats()
+    assert stats["windows"] == 2
+    assert stats["max_window_events"] == 2
+    assert stats["null_window_slots"] >= 1
+    assert stats["max_skew_ns"] >= 50
+
+
+def test_partitioner_routes_barrier_release_to_master():
+    part = NodeGroupPartitioner(
+        4, 2, node_of_thread=lambda tid: 3, master_node=0
+    )
+    assert part.of_event(EventKind.BARRIER_RELEASE, actor=7) == 0
+    # Thread actors follow the thread's *current* node.
+    assert part.of_event(EventKind.SEGMENT_END, actor=5) == part.of_node(3)
+    assert part.of_event(EventKind.MESSAGE_DELIVER, actor=2) == part.of_node(2)
+
+
+def test_partitioner_rejects_bad_partition_count():
+    with pytest.raises(ValueError, match="partitions"):
+        NodeGroupPartitioner(2, 3, node_of_thread=lambda tid: 0)
+
+
+def test_negative_lookahead_rejected():
+    part = NodeGroupPartitioner(2, 2, node_of_thread=lambda tid: 0)
+    with pytest.raises(ValueError, match="lookahead"):
+        PartitionedEventLoop(part, lookahead_ns=-1)
