@@ -3,11 +3,12 @@ and integration tests.
 
 The accuracy experiments exploit a determinism the real system also has:
 whether an object is sampled at a given rate depends only on its
-sequence number and class — not on timing — so the OAL stream at any
-rate is a *filter* of the full-sampling OAL stream.  One profiled run at
-full sampling therefore yields the TCM at every rate
-(:func:`tcm_at_rate`), exactly as a re-run at that rate would produce,
-at a fraction of the cost.  Overhead experiments, whose point is the
+immutable identity (sequence number and class for the prime-gap scheme,
+object id for the stateless backends) — not on timing — so the OAL
+stream at any rate *under any backend* is a filter of the full-sampling
+OAL stream.  One profiled run at full sampling therefore yields the TCM
+at every rate and backend (:func:`tcm_at_rate`), exactly as a re-run at
+that configuration would produce, at a fraction of the cost.  Overhead experiments, whose point is the
 cost accounting itself, re-run per configuration.
 """
 
@@ -82,11 +83,19 @@ def run_with_correlation(
     piggyback: bool = True,
     costs: CostModel | None = None,
     telemetry=None,
+    sampling_backend=None,
 ) -> ProfiledRun:
-    """Run with correlation tracking at one sampling rate."""
+    """Run with correlation tracking at one sampling rate (optionally
+    under a non-default sampling backend)."""
     workload = workload_factory()
     djvm = build_djvm(workload, n_nodes, costs=costs, telemetry=telemetry)
-    suite = ProfilerSuite(djvm, correlation=True, send_oals=send_oals, piggyback=piggyback)
+    suite = ProfilerSuite(
+        djvm,
+        correlation=True,
+        send_oals=send_oals,
+        piggyback=piggyback,
+        sampling_backend=sampling_backend,
+    )
     suite.set_rate_all(rate)
     result = djvm.run(workload.programs())
     return ProfiledRun(workload=workload, djvm=djvm, result=result, suite=suite)
@@ -169,10 +178,15 @@ def tcm_at_rate(
     *,
     page_size: int = 4096,
     use_prime_gaps: bool = True,
+    backend=None,
 ) -> np.ndarray:
     """The TCM a run at ``rate`` would produce, computed by filtering the
-    full-sampling OAL stream through that rate's sampling policy."""
-    policy = SamplingPolicy(page_size=page_size, use_prime_gaps=use_prime_gaps)
+    full-sampling OAL stream through that rate's sampling policy (under
+    any decision ``backend`` — decisions are pure functions of object
+    identity for every backend, so the filter is exact)."""
+    policy = SamplingPolicy(
+        page_size=page_size, use_prime_gaps=use_prime_gaps, backend=backend
+    )
     for st in gos.registry:
         policy.set_rate(st, rate)
 

@@ -37,6 +37,11 @@ SIM010    wall-clock/OS-level process API (``multiprocessing``,
           ``os.spawn*``/``os.getpid``, ``time.sleep``, …) inside a
           partition-worker module; only the sanctioned worker harness
           (``repro/sim/workerpool.py``) may touch process machinery
+SIM011    direct mutation of sampling state (``gap_table[...]``,
+          per-class decision memos/counters, ``real_gap``/``epoch``
+          fields) outside ``repro/core/sampling.py`` — rate changes
+          flow through ``SamplingPolicy.set_rate``/``set_min_gap`` so
+          every backend observes a consistent epoch
 ========  ==============================================================
 
 Escape hatch: append ``# simlint: disable=SIM003`` (comma-separate for
@@ -210,10 +215,29 @@ RULES: dict[str, str] = {
     "SIM008": "environment read inside the deterministic core",
     "SIM009": "direct counters[...] mutation outside the metrics registry (repro/obs/)",
     "SIM010": "process/wall-clock API in a partition-worker module outside the sanctioned worker harness",
+    "SIM011": "direct sampling-state mutation (gap_table / per-class counters) outside repro/core/sampling.py",
 }
 
 #: module prefix exempt from SIM009 — the registry itself.
 METRICS_HOME_PREFIX = "repro/obs/"
+
+#: the one module allowed to mutate sampling state (SIM011).
+SAMPLING_HOME = "repro/core/sampling.py"
+
+#: container names SIM011 guards against subscript mutation: the policy
+#: gap table, the per-class decision memo, and the backend counters.
+SAMPLING_CONTAINERS = frozenset(
+    {"gap_table", "decisions", "sample_counts", "skip_counts"}
+)
+
+#: per-class state fields SIM011 guards against attribute assignment —
+#: mutating these bypasses the epoch bump backends rely on.
+SAMPLING_STATE_ATTRS = frozenset(
+    {"real_gap", "nominal_gap", "cache_epoch", "epoch", "min_gap"}
+)
+
+#: dict/list mutator methods covered by the SIM011 call check.
+SAMPLING_MUTATORS = frozenset({"clear", "update", "pop", "popitem", "setdefault"})
 
 
 # ---------------------------------------------------------------------------
@@ -374,6 +398,7 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        self._check_sampling_mutator_call(node)
         if self.deterministic:
             chain = _attr_chain(func)
             if chain:
@@ -645,11 +670,61 @@ class _Checker(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._check_counters_mutation(target, node)
+            self._check_sampling_mutation(target, node)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_counters_mutation(node.target, node)
+        self._check_sampling_mutation(node.target, node)
         self.generic_visit(node)
+
+    # -- SIM011: sampling state is sampling.py's to mutate ---------------
+
+    def _sampling_exempt(self) -> bool:
+        return self.testish or self.mod == SAMPLING_HOME
+
+    def _check_sampling_mutation(self, target: ast.AST, node: ast.AST) -> None:
+        """Flag writes to the policy gap table, per-class decision memos
+        or backend counters (``gap_table[...] = ``, ``st.real_gap = ``)
+        outside :data:`SAMPLING_HOME`: gap/epoch consistency is what lets
+        every backend trust its memo and threshold derivations, so rate
+        changes must flow through ``set_rate``/``set_min_gap``."""
+        if self._sampling_exempt():
+            return
+        if isinstance(target, ast.Subscript):
+            name = _terminal_name(target.value)
+            if name in SAMPLING_CONTAINERS:
+                self.report(
+                    node,
+                    "SIM011",
+                    f"direct {name}[...] mutation outside {SAMPLING_HOME}; "
+                    "change rates through SamplingPolicy.set_rate/set_min_gap "
+                    "so the class epoch bumps and backends stay consistent",
+                )
+        elif isinstance(target, ast.Attribute) and target.attr in SAMPLING_STATE_ATTRS:
+            self.report(
+                node,
+                "SIM011",
+                f"direct .{target.attr} assignment outside {SAMPLING_HOME}; "
+                "per-class sampling state mutates only through the policy API "
+                "(set_rate/set_nominal_gap/set_min_gap)",
+            )
+
+    def _check_sampling_mutator_call(self, node: ast.Call) -> None:
+        """Flag ``gap_table.clear()``-style mutator calls (SIM011)."""
+        if self._sampling_exempt():
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in SAMPLING_MUTATORS:
+            return
+        name = _terminal_name(func.value)
+        if name in SAMPLING_CONTAINERS:
+            self.report(
+                node,
+                "SIM011",
+                f"{name}.{func.attr}() mutates sampling state outside "
+                f"{SAMPLING_HOME}; use the SamplingPolicy API instead",
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -124,6 +124,11 @@ class HomeBasedLRC:
         # call it directly instead of the keyword fan-out.
         self._fast_src: ProtocolHooks | None = None
         self._fast_log = None
+        # Companion cache for the vector engine's decide_batch lane: the
+        # hook's ``prime_batch`` when it advertises ``wants_batch_prime``
+        # (stateless sampling backends), else None.  Resolved together
+        # with ``_fast_log`` so both caches always describe ``_fast_src``.
+        self._fast_prime = None
         #: opt-in protocol invariant checker (repro.checks.sanitizer),
         #: wired by ``DJVM(sanitize=True)``.  Sanitizer callbacks observe
         #: only — they never advance simulated clocks — so results are
@@ -361,6 +366,11 @@ class HomeBasedLRC:
             else:
                 self._fast_src = hook
                 fast = self._fast_log = getattr(hook, "fast_on_access", None)
+                self._fast_prime = (
+                    getattr(hook, "prime_batch", None)
+                    if getattr(hook, "wants_batch_prime", False)
+                    else None
+                )
             if fast is not None:
                 # Only the first touch of an object in an interval can
                 # trap (the false-invalid tag is cancelled by that first

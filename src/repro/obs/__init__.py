@@ -243,6 +243,37 @@ def _collect_suite(reg: MetricsRegistry, suite) -> None:
     reg.gauge("profiler_tcm_windows", "TCM windows processed").set(
         len(suite.collector.window_tcms)
     )
+    _collect_sampling(reg, suite)
+
+
+def _collect_sampling(reg: MetricsRegistry, suite) -> None:
+    """Per-backend sampling decision statistics: evaluated decisions by
+    outcome and the realized per-class sampled fraction.  Host-side
+    observability only — counters track *evaluated* decisions (the
+    memoized prime-gap backend evaluates once per epoch per object; the
+    gap==1 fast path bypasses decision evaluation entirely)."""
+    policy = getattr(suite, "policy", None)
+    backend = getattr(policy, "backend", None)
+    if backend is None:
+        return
+    samples, skips = backend.totals()
+    by_outcome = reg.gauge(
+        "sampling_decisions_total",
+        "evaluated sampling decisions by backend and outcome",
+        labels=("backend", "outcome"),
+    )
+    by_outcome.labels(backend=backend.name, outcome="sample").set(samples)
+    by_outcome.labels(backend=backend.name, outcome="skip").set(skips)
+    realized = reg.gauge(
+        "sampling_realized_rate",
+        "sampled fraction among evaluated decisions per class",
+        labels=("backend", "class"),
+    )
+    states = getattr(policy, "_states", {})
+    for cid, frac in backend.realized_rates().items():  # simlint: disable=SIM003 (realized_rates() is sorted-key by construction)
+        st = states.get(cid)
+        cname = st.jclass.name if st is not None else str(cid)
+        realized.labels(**{"backend": backend.name, "class": cname}).set(frac)
 
 
 def _collect_tracer(reg: MetricsRegistry, tracer: SpanTracer) -> None:

@@ -45,18 +45,30 @@ GATE_FACTORY = lambda: SORWorkload(n=1024, rounds=4, n_threads=8, seed=11)  # no
 GATE_NODES = 8
 
 
-def _run(workload: str, nodes: int, rate: float | str, telemetry: str = "full"):
+def _run(
+    workload: str,
+    nodes: int,
+    rate: float | str,
+    telemetry: str = "full",
+    backend: str | None = None,
+):
     factory = WORKLOADS[workload]
     return E.run_with_correlation(
-        factory, n_nodes=nodes, rate=rate, send_oals=True, telemetry=telemetry
+        factory,
+        n_nodes=nodes,
+        rate=rate,
+        send_oals=True,
+        telemetry=telemetry,
+        sampling_backend=backend,
     )
 
 
 def cmd_summary(args) -> int:
-    run = _run(args.workload, args.nodes, args.rate)
+    run = _run(args.workload, args.nodes, args.rate, backend=args.backend)
     telemetry = run.djvm.telemetry
     run.suite.collector.tcm()  # fold pending batches so TCM gauges are final
     print(f"# {args.workload} on {args.nodes} nodes, rate {args.rate}")
+    print(f"# sampling backend: {run.suite.policy.backend.name}")
     print(f"# simulated execution {run.result.execution_time_ms:.3f} ms")
     print(telemetry.summary())
     print(f"# telemetry self-overhead {telemetry.self_wall_ns / 1e6:.2f} ms wall")
@@ -64,7 +76,7 @@ def cmd_summary(args) -> int:
 
 
 def cmd_export(args) -> int:
-    run = _run(args.workload, args.nodes, args.rate)
+    run = _run(args.workload, args.nodes, args.rate, backend=args.backend)
     telemetry = run.djvm.telemetry
     run.suite.collector.tcm()
     doc = write_chrome_trace(args.trace, telemetry.tracer)
@@ -174,9 +186,17 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_run_args(p):
+        from repro.core.sampling import BACKENDS
+
         p.add_argument("--workload", choices=sorted(WORKLOADS), default="sor")
         p.add_argument("--nodes", type=int, default=2)
         p.add_argument("--rate", default=4, type=lambda v: v if v == "full" else float(v))
+        p.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default=None,
+            help="sampling backend (default: prime_gap)",
+        )
 
     p = sub.add_parser("summary", help="run a workload, print the metrics digest")
     add_run_args(p)

@@ -78,6 +78,7 @@ class DJVM:
         kernel: str = "serial",
         partitions: int | None = None,
         replay: str = "vector",
+        sampling_backend=None,
     ) -> None:
         if kernel not in ("serial", "partitioned"):
             raise ValueError(f"kernel must be 'serial' or 'partitioned', got {kernel!r}")
@@ -101,6 +102,11 @@ class DJVM:
         #: access replay mode handed to the interpreter ("vector" bulk
         #: replay or the "scalar" per-op oracle).
         self.replay = replay
+        #: sampling-decision backend for any ProfilerSuite attached to
+        #: this DJVM: None (the paper's prime-gap scheme), a registry
+        #: name ("prime_gap" | "poisson" | "hash" | "hybrid"), or a
+        #: ready repro.core.sampling.SamplingBackend instance.
+        self.sampling_backend = sampling_backend
         self.cluster = Cluster(
             n_nodes,
             costs=costs if costs is not None else CostModel.gideon300(),

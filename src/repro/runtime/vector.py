@@ -321,9 +321,21 @@ class VectorEngine:
             hook = hooks[0]
             if hook is hl._fast_src:
                 fast = hl._fast_log
+                prime = hl._fast_prime
             else:
                 hl._fast_src = hook
                 fast = hl._fast_log = getattr(hook, "fast_on_access", None)
+                prime = hl._fast_prime = (
+                    getattr(hook, "prime_batch", None)
+                    if getattr(hook, "wants_batch_prime", False)
+                    else None
+                )
+            if prime is not None:
+                # decide_batch lane: stateless sampling backends batch
+                # this run's distinct-object decisions up front (host-
+                # side cache only; simulated costs are unchanged, so
+                # vector and scalar replay stay byte-identical).
+                prime([objects[oid] for oid in uniq])
             checkpoints = run.checkpoints
             defer = False
 

@@ -398,6 +398,61 @@ def test_sim010_disabled():
 
 
 # ---------------------------------------------------------------------------
+# SIM011: sampling-state mutation outside repro/core/sampling.py
+# ---------------------------------------------------------------------------
+
+#: the one module allowed to mutate sampling state (SIM011's exemption).
+SAMPLING = "src/repro/core/sampling.py"
+
+
+def test_sim011_positive_gap_table_assign():
+    src = "def f(policy, cid):\n    policy.gap_table[cid] = 7\n"
+    assert codes(src, CORE) == ["SIM011"]
+
+
+def test_sim011_positive_counter_augassign():
+    src = "def f(backend, cid):\n    backend.sample_counts[cid] += 1\n"
+    assert codes(src, CORE) == ["SIM011"]
+
+
+def test_sim011_positive_state_attr_assign():
+    src = "def f(st):\n    st.real_gap = 127\n"
+    assert codes(src, CORE) == ["SIM011"]
+
+
+def test_sim011_positive_memo_clear_call():
+    src = "def f(st):\n    st.decisions.clear()\n"
+    assert codes(src, CORE) == ["SIM011"]
+
+
+def test_sim011_positive_outside_core_too():
+    # Unlike SIM003, scope is the whole tree, not just the deterministic
+    # core — analysis code bypassing set_rate is just as damaging.
+    src = "def f(policy, cid):\n    policy.gap_table[cid] = 7\n"
+    assert codes(src, OUTSIDE) == ["SIM011"]
+
+
+def test_sim011_negative_read_only():
+    src = "def f(policy, cid):\n    return policy.gap_table[cid]\n"
+    assert codes(src, CORE) == []
+
+
+def test_sim011_negative_sampling_home():
+    src = "def f(policy, cid):\n    policy.gap_table[cid] = 7\n"
+    assert codes(src, SAMPLING) == []
+
+
+def test_sim011_negative_testish():
+    src = "def f(policy, cid):\n    policy.gap_table[cid] = 7\n"
+    assert codes(src, TESTISH) == []
+
+
+def test_sim011_disabled():
+    src = "def f(st):\n    st.real_gap = 127  # simlint: disable=SIM011\n"
+    assert codes(src, CORE) == []
+
+
+# ---------------------------------------------------------------------------
 # engine behaviour
 # ---------------------------------------------------------------------------
 
@@ -425,7 +480,7 @@ def test_syntax_error_reported_not_raised():
 
 
 def test_every_rule_has_catalog_entry():
-    assert set(RULES) == {f"SIM00{i}" for i in range(1, 10)} | {"SIM010"}
+    assert set(RULES) == {f"SIM00{i}" for i in range(1, 10)} | {"SIM010", "SIM011"}
 
 
 def test_repo_tree_is_clean():
