@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint sanitize race obs pdes frontier check bench bench-paper perf examples demo clean
+.PHONY: install test lint sanitize race static obs pdes frontier check bench bench-paper perf examples demo clean
 
 install:
 	pip install -e .
@@ -30,6 +30,12 @@ sanitize:
 race:
 	PYTHONPATH=src python -m repro.checks race
 
+# Whole-program static analysis gate: IR verification, sharing/escape
+# classification, and the static may-race set — which must contain every
+# dynamic FastTrack report on the same run matrix (soundness).
+static:
+	PYTHONPATH=src python -m repro.checks static
+
 # Telemetry gate: a bench-scale workload with metrics + span tracing,
 # asserting byte-identity against the untraced run, Chrome-trace JSON
 # schema validity, and telemetry wall overhead under 15%.
@@ -37,7 +43,8 @@ obs:
 	PYTHONPATH=src python -m repro.obs gate
 
 # The pre-merge gate: lint, tier-1 tests, sanitizer-enabled workloads,
-# the happens-before race gate, the telemetry gate, plus the perf
+# the happens-before race gate, the static-analysis soundness gate,
+# the telemetry gate, plus the perf
 # regression guard (wall-time within tolerance of BENCH_perf.json,
 # determinism checksums unchanged).  Does not rewrite the committed
 # baseline — use `make perf` for that.
@@ -45,6 +52,7 @@ check: lint
 	PYTHONPATH=src python -m pytest tests/
 	PYTHONPATH=src python -m repro.checks sanitize
 	PYTHONPATH=src python -m repro.checks race
+	PYTHONPATH=src python -m repro.checks static
 	PYTHONPATH=src python -m repro.obs gate
 	$(MAKE) pdes
 	PYTHONPATH=src python benchmarks/perf_harness.py --repeats 3 --scale smoke --frontier smoke --output /tmp/BENCH_perf.check.json

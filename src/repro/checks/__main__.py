@@ -12,17 +12,32 @@ Subcommands:
   synthetic pair with ``DJVM(racecheck="collect")``; exits non-zero
   when a tracked (race-free) workload reports any race, or when the
   seeded race in ``RacyCounterWorkload(locked=False)`` goes undetected.
-* ``all`` (default) — lint, then sanitize, then race.
+* ``static`` — run the whole-program static analysis
+  (:mod:`repro.checks.staticflow`) over the same run matrix: the IR
+  must verify, the racy synthetic must yield a non-empty may-race set,
+  and — the soundness cross-check — every dynamic FastTrack report
+  must be covered by the static may-race set.
+* ``all`` (default) — lint, then sanitize, then race, then static.
+
+Each failing subcommand exits with its own code (see ``--help``) so CI
+logs identify the failing gate without scraping stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.checks.simlint import check_paths
 
 DEFAULT_LINT_PATHS = ["src", "tests", "benchmarks"]
+
+#: one distinct exit code per failing gate (0 = all clean).
+EXIT_LINT = 2
+EXIT_SANITIZE = 3
+EXIT_RACE = 4
+EXIT_STATIC = 5
 
 
 def run_lint(paths: list[str] | None = None) -> int:
@@ -33,7 +48,7 @@ def run_lint(paths: list[str] | None = None) -> int:
         print(finding.render())
     if findings:
         print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
+        return EXIT_LINT
     print(f"simlint: clean ({', '.join(paths)})")
     return 0
 
@@ -47,7 +62,7 @@ def run_sanitize() -> int:
         report = run_sanitize_all(verbose=True)
     except SanitizerViolation as violation:
         print(f"sanitizer: {violation}", file=sys.stderr)
-        return 1
+        return EXIT_SANITIZE
     total = sum(checks for _, checks, _ in report)
     print(f"sanitizer: clean ({total} checks across {len(report)} workloads)")
     return 0
@@ -78,22 +93,115 @@ def run_race() -> int:
     if failures:
         for failure in failures:
             print(f"racecheck: {failure}", file=sys.stderr)
-        return 1
+        return EXIT_RACE
     print(f"racecheck: clean ({checked} accesses across {len(report)} runs)")
+    return 0
+
+
+def run_static(json_path: str | None = None, *, verbose: bool = True) -> int:
+    """Run the static-analysis gate; return a process exit code.
+
+    Three requirements over the race-gate run matrix:
+
+    1. every workload's IR passes full verification (IR001–IR009);
+    2. the seeded racy synthetic yields a non-empty static may-race set
+       (the analysis is not vacuously silent);
+    3. soundness — re-running the matrix under the *dynamic* FastTrack
+       detector, every dynamic report is covered by the static may-race
+       set (``may_races ⊇ dynamic reports``).
+    """
+    from repro.checks.runner import N_NODES, race_workloads, run_race_all
+    from repro.checks.staticflow import analyze, uncovered_dynamic
+
+    failures = []
+    static_reports: dict[str, object] = {}
+    for name, workload, expected_racy in race_workloads():
+        report = analyze(
+            workload, n_nodes=N_NODES, placement="round_robin", name=name
+        )
+        static_reports[name] = report
+        if not report.verified:
+            failures.append(f"{name}: {len(report.problems)} IR problem(s)")
+            for problem in report.problems:
+                print(f"  {problem.render()}", file=sys.stderr)
+            continue
+        if verbose:
+            counts = report.sharing.counts()
+            shared = sum(
+                n for cls, n in counts.items() if cls not in ("node-private", "unaccessed")
+            )
+            print(
+                f"  static   {name:<18} {len(report.ir.objects):>5} objects, "
+                f"{shared} shared, {len(report.races)} may-race pair(s)"
+            )
+        if expected_racy and not report.races:
+            failures.append(f"{name}: seeded race has empty static may-race set")
+
+    # Soundness cross-check: dynamic ⊆ static on every workload.
+    dynamic = run_race_all(verbose=False)
+    covered = 0
+    for name, _accesses, reports, _expected in dynamic:
+        report = static_reports.get(name)
+        if report is None or not report.verified:
+            continue
+        missing = uncovered_dynamic(report.races, reports)
+        covered += len(reports) - len(missing)
+        for dyn in missing:
+            failures.append(
+                f"{name}: dynamic race not in static may-race set "
+                f"(UNSOUND): obj {dyn.obj_id} {dyn.kind} "
+                f"threads {dyn.first.thread_id}/{dyn.second.thread_id}"
+            )
+
+    if json_path:
+        doc = {name: r.to_json() for name, r in sorted(static_reports.items())}
+        with open(json_path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"static: wrote {json_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"static: {failure}", file=sys.stderr)
+        return EXIT_STATIC
+    total_static = sum(
+        len(r.races) for r in static_reports.values() if r.verified
+    )
+    print(
+        f"static: sound ({len(static_reports)} workloads verified, "
+        f"{total_static} may-race pair(s), {covered} dynamic report(s) covered)"
+    )
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.checks",
-        description="Determinism lint + protocol sanitizer gate.",
+        description="Determinism lint + protocol sanitizer + race + static gates.",
+        epilog=(
+            "exit codes: 0 all clean; "
+            f"{EXIT_LINT} lint findings; {EXIT_SANITIZE} sanitizer violation; "
+            f"{EXIT_RACE} race gate failed; {EXIT_STATIC} static gate failed. "
+            "`all` exits with the first failing gate's code."
+        ),
     )
     sub = parser.add_subparsers(dest="command")
-    lint = sub.add_parser("lint", help="run the simlint AST pass")
+    lint = sub.add_parser("lint", help=f"run the simlint AST pass (exit {EXIT_LINT} on findings)")
     lint.add_argument("paths", nargs="*", default=None, help="files or directories")
-    sub.add_parser("sanitize", help="run sanitizer-enabled bench workloads")
-    sub.add_parser("race", help="run the happens-before race gate")
-    sub.add_parser("all", help="lint, sanitize, then race (default)")
+    sub.add_parser(
+        "sanitize",
+        help=f"run sanitizer-enabled bench workloads (exit {EXIT_SANITIZE} on violation)",
+    )
+    sub.add_parser(
+        "race", help=f"run the happens-before race gate (exit {EXIT_RACE} on failure)"
+    )
+    static = sub.add_parser(
+        "static",
+        help=f"run the whole-program static analysis gate (exit {EXIT_STATIC} on failure)",
+    )
+    static.add_argument(
+        "--json", default=None, metavar="PATH", help="also write per-workload JSON reports"
+    )
+    sub.add_parser("all", help="lint, sanitize, race, then static (default)")
     args = parser.parse_args(argv)
 
     if args.command == "lint":
@@ -102,9 +210,12 @@ def main(argv: list[str] | None = None) -> int:
         return run_sanitize()
     if args.command == "race":
         return run_race()
+    if args.command == "static":
+        return run_static(args.json)
     code = run_lint(None)
     code = code or run_sanitize()
-    return code or run_race()
+    code = code or run_race()
+    return code or run_static()
 
 
 if __name__ == "__main__":

@@ -42,6 +42,12 @@ SIM011    direct mutation of sampling state (``gap_table[...]``,
           fields) outside ``repro/core/sampling.py`` — rate changes
           flow through ``SamplingPolicy.set_rate``/``set_min_gap`` so
           every backend observes a consistent epoch
+SIM012    write to a shared-annotated object outside a lock region: a
+          binding whose line carries a trailing ``# shared`` comment
+          marks the object as cross-thread shared, and ``write(...)``
+          calls naming it must sit between ``acquire``/``release`` in
+          the same block (writes indexed by ``thread_id``/``tid`` are
+          thread-partitioned and exempt)
 ========  ==============================================================
 
 Escape hatch: append ``# simlint: disable=SIM003`` (comma-separate for
@@ -187,6 +193,15 @@ SLOTLESS_BASES = {
 
 _DISABLE_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
 
+#: trailing ``# shared`` annotation marking a binding as cross-thread
+#: shared state (SIM012's opt-in scope).
+_SHARED_RE = re.compile(r"#\s*shared\s*$")
+
+#: argument names marking a write as thread-partitioned (SIM012 exempt):
+#: ``write(pool[thread_id])`` is per-thread data behind the barrier
+#: discipline, not a cross-thread mutation.
+_THREAD_PARTITION_NAMES = frozenset({"thread_id", "tid"})
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -216,6 +231,7 @@ RULES: dict[str, str] = {
     "SIM009": "direct counters[...] mutation outside the metrics registry (repro/obs/)",
     "SIM010": "process/wall-clock API in a partition-worker module outside the sanctioned worker harness",
     "SIM011": "direct sampling-state mutation (gap_table / per-class counters) outside repro/core/sampling.py",
+    "SIM012": "write to a shared-annotated object outside an acquire/release region",
 }
 
 #: module prefix exempt from SIM009 — the registry itself.
@@ -329,6 +345,15 @@ class _Checker(ast.NodeVisitor):
         self._wall_clock_names: set[str] = set()
         #: local aliases of the numpy module ("np", "numpy", ...).
         self._numpy_aliases: set[str] = set()
+        #: lines carrying a trailing ``# shared`` annotation (SIM012).
+        self._shared_lines: set[int] = {
+            lineno
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if _SHARED_RE.search(text)
+        }
+        #: names bound on shared-annotated lines (filled by
+        #: :meth:`collect_shared_names` before the visit pass).
+        self._shared_names: set[str] = set()
 
     # -- reporting -----------------------------------------------------
 
@@ -644,11 +669,103 @@ class _Checker(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_shared_writes(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._check_shared_writes(node)
         self.generic_visit(node)
+
+    # -- SIM012: shared-annotated objects mutate under a lock ------------
+
+    def collect_shared_names(self, tree: ast.AST) -> None:
+        """Pre-pass: gather every name bound on a ``# shared`` line.
+
+        Runs before the visit pass so a write in one method sees
+        annotations made in another (``build()`` marks, ``_generate()``
+        writes)."""
+        if self.testish or not self._shared_lines:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            lines = range(node.lineno, (node.end_lineno or node.lineno) + 1)
+            if not self._shared_lines.intersection(lines):
+                continue
+            for tgt in targets:
+                name = _terminal_name(tgt)
+                if name:
+                    self._shared_names.add(name)
+
+    @staticmethod
+    def _stmt_call(stmt: ast.stmt) -> ast.Call | None:
+        """The op-emitting call of a statement: ``P.write(...)`` or
+        ``yield P.write(...)`` as an expression statement."""
+        if not isinstance(stmt, ast.Expr):
+            return None
+        value = stmt.value
+        if isinstance(value, ast.Yield):
+            value = value.value
+        return value if isinstance(value, ast.Call) else None
+
+    @staticmethod
+    def _names_in(node: ast.AST) -> set[str]:
+        out: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                out.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                out.add(sub.attr)
+        return out
+
+    def _check_shared_writes(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        """SIM012: scan a function body for ``write(<shared>)`` calls at
+        lock depth zero.  Depth is tracked per block — an ``acquire``
+        inside an ``if`` arm does not cover the statements after it —
+        which is exactly the conditional-locking bug the rule exists to
+        catch."""
+        if self.testish or not self._shared_names:
+            return
+        self._scan_shared_block(node.body, 0)
+
+    def _scan_shared_block(self, stmts: list[ast.stmt], depth: int) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # visited on their own
+            call = self._stmt_call(stmt)
+            if call is not None:
+                name = _terminal_name(call.func)
+                if name == "acquire":
+                    depth += 1
+                elif name == "release":
+                    depth = max(depth - 1, 0)
+                elif name == "write" and depth == 0 and call.args:
+                    self._check_shared_write(call)
+                continue
+            for attr in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, attr, None)
+                if sub:
+                    self._scan_shared_block(sub, depth)
+            for handler in getattr(stmt, "handlers", ()):
+                self._scan_shared_block(handler.body, depth)
+
+    def _check_shared_write(self, call: ast.Call) -> None:
+        names = self._names_in(call.args[0])
+        shared = sorted(names & self._shared_names)
+        if not shared or names & _THREAD_PARTITION_NAMES:
+            return
+        self.report(
+            call,
+            "SIM012",
+            f"write({shared[0]}) mutates a shared-annotated object outside "
+            "an acquire/release region; hold the lock across the write or "
+            "index by thread_id to make the partitioning explicit",
+        )
 
     # -- SIM009: counters must live in the metrics registry -------------
 
@@ -741,6 +858,7 @@ def check_source(source: str, path: str = "<string>") -> list[Finding]:
             Finding(path, exc.lineno or 0, exc.offset or 0, "SIM000", f"syntax error: {exc.msg}")
         ]
     checker = _Checker(path, source)
+    checker.collect_shared_names(tree)
     checker.visit(tree)
     return sorted(checker.findings, key=lambda f: (f.path, f.line, f.col, f.code))
 

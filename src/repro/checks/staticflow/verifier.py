@@ -1,0 +1,458 @@
+"""The workload IR verifier: well-formedness checks over pre-decoded
+thread programs, plus the structural hard gate in front of the
+batched/vectorized replay engines.
+
+Two tiers, two costs:
+
+* :func:`verify_structure` — the **gate tier**: the structural
+  invariants the stack machine and the vector replay engine rely on
+  (opcode range, CALL/RET balance, SETSLOT-in-frame, lock pairing),
+  computed over the dense ``codes`` byte array with numpy cumulative
+  sums plus a Python loop over only the (few) sync ops.  The
+  interpreter calls :func:`gate_program` exactly where the vector
+  engine engages; the result is cached on the compiled program
+  (``CompiledProgram._verified``) so reuse across DJVM instances — the
+  bench-harness pattern — verifies once.
+* :func:`verify_ops` / :func:`verify_workload` — the **full tier** for
+  the CLI and tests: per-op arity/field domains, lock-across-barrier,
+  object-id domain against the allocated heap, thread placement, and
+  cross-thread barrier pairing (every thread must issue the same
+  barrier-id sequence, or the run deadlocks at the first divergence).
+
+Problem codes
+-------------
+
+========  ============================================================
+IR001     unknown opcode (outside ``OP_READ..OP_BARRIER``)
+IR002     malformed op: wrong tuple arity or field outside its domain
+IR003     CALL/RET imbalance (RET on empty stack / unpopped frames)
+IR004     SETSLOT outside any frame
+IR005     lock pairing: re-acquire of a held lock, release of an
+          unheld lock, or program end while holding locks
+IR006     barrier crossed while holding a lock (serializes the whole
+          episode behind the holder and breaks phase alignment)
+IR007     object id not allocated in the workload's object space
+IR008     barrier-id sequences differ across threads (deadlock at the
+          first divergence: barrier parties = all threads)
+IR009     thread placed on a node outside the cluster
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.program import (
+    OP_ACQUIRE,
+    OP_BARRIER,
+    OP_CALL,
+    OP_COMPUTE,
+    OP_READ,
+    OP_RELEASE,
+    OP_RET,
+    OP_SETSLOT,
+    OP_WRITE,
+    OPCODE_NAMES,
+    CompiledProgram,
+)
+
+try:  # pragma: no cover - numpy is a hard dep of the repo, but the
+    import numpy as _np  # gate must not be the module that requires it
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+
+__all__ = [
+    "IRProblem",
+    "IRVerificationError",
+    "verify_structure",
+    "verify_ops",
+    "verify_workload",
+    "gate_program",
+]
+
+#: expected tuple arity per opcode (see repro.runtime.program docstring).
+_ARITY = {
+    OP_READ: 5,
+    OP_WRITE: 5,
+    OP_COMPUTE: 2,
+    OP_CALL: 4,
+    OP_RET: 1,
+    OP_SETSLOT: 3,
+    OP_ACQUIRE: 2,
+    OP_RELEASE: 2,
+    OP_BARRIER: 2,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class IRProblem:
+    """One verifier finding: where in which thread's program, and why."""
+
+    code: str
+    message: str
+    thread_id: int | None = None
+    pc: int | None = None
+
+    def render(self) -> str:
+        """Canonical ``[IRnnn] thread t op pc: message`` line."""
+        where = []
+        if self.thread_id is not None:
+            where.append(f"thread {self.thread_id}")
+        if self.pc is not None:
+            where.append(f"op {self.pc}")
+        prefix = " ".join(where)
+        return f"[{self.code}] {prefix + ': ' if prefix else ''}{self.message}"
+
+
+class IRVerificationError(RuntimeError):
+    """Raised by the structural gate when a program fails verification."""
+
+    def __init__(self, problems: list[IRProblem]) -> None:
+        self.problems = problems
+        lines = "\n  ".join(p.render() for p in problems)
+        super().__init__(f"workload IR failed verification:\n  {lines}")
+
+
+# ---------------------------------------------------------------------------
+# gate tier: structural checks over the dense opcode array
+# ---------------------------------------------------------------------------
+
+
+def _structure_python(program: CompiledProgram, thread_id: int | None) -> list[IRProblem]:
+    """Pure-Python structural scan (numpy-less fallback; same findings)."""
+    problems: list[IRProblem] = []
+    depth = 0
+    held: set[int] = set()
+    for pc, op in enumerate(program.ops):
+        code = op[0]
+        if code == OP_CALL:
+            depth += 1
+        elif code == OP_RET:
+            depth -= 1
+            if depth < 0:
+                problems.append(
+                    IRProblem("IR003", "RET with empty stack", thread_id, pc)
+                )
+                depth = 0
+        elif code == OP_SETSLOT:
+            if depth == 0:
+                problems.append(
+                    IRProblem("IR004", "SETSLOT outside any frame", thread_id, pc)
+                )
+        elif code == OP_ACQUIRE:
+            lock = op[1]
+            if lock in held:
+                problems.append(
+                    IRProblem("IR005", f"ACQUIRE of lock {lock} already held", thread_id, pc)
+                )
+            held.add(lock)
+        elif code == OP_RELEASE:
+            lock = op[1]
+            if lock not in held:
+                problems.append(
+                    IRProblem("IR005", f"RELEASE of lock {lock} not held", thread_id, pc)
+                )
+            held.discard(lock)
+    if depth > 0:
+        problems.append(
+            IRProblem("IR003", f"program ends with {depth} unpopped frame(s)", thread_id)
+        )
+    if held:
+        problems.append(
+            IRProblem("IR005", f"program ends holding locks {sorted(held)}", thread_id)
+        )
+    return problems
+
+
+def verify_structure(
+    program: CompiledProgram, thread_id: int | None = None
+) -> list[IRProblem]:
+    """Gate-tier structural verification of one compiled program.
+
+    Checks IR001 (opcode range — re-asserted, though compilation already
+    rejects it), IR003 (CALL/RET balance), IR004 (SETSLOT-in-frame) and
+    IR005 (lock pairing).  The frame-depth scan runs as numpy cumulative
+    sums over the dense opcode bytes; only the program's sync ops are
+    touched from Python, so gating a program costs far less than one
+    scalar execution of it.
+    """
+    codes = program.codes
+    if not codes:
+        return []
+    if max(codes) > OP_BARRIER:  # unreachable via compile_program; raw safety
+        pc = next(i for i, c in enumerate(codes) if c > OP_BARRIER)
+        return [IRProblem("IR001", f"unknown opcode {codes[pc]}", thread_id, pc)]
+    if _np is None:
+        return _structure_python(program, thread_id)
+    arr = _np.frombuffer(codes, dtype=_np.uint8)
+    problems: list[IRProblem] = []
+    # Frame depth after each op: +1 per CALL, -1 per RET, cumulative.
+    delta = (arr == OP_CALL).astype(_np.int64)
+    delta -= arr == OP_RET
+    depth = _np.cumsum(delta)
+    if bool((depth < 0).any()):
+        pc = int(_np.argmax(depth < 0))
+        problems.append(IRProblem("IR003", "RET with empty stack", thread_id, pc))
+    elif int(depth[-1]) > 0:
+        problems.append(
+            IRProblem(
+                "IR003",
+                f"program ends with {int(depth[-1])} unpopped frame(s)",
+                thread_id,
+            )
+        )
+    # SETSLOT needs an enclosing frame (depth unchanged by SETSLOT, so
+    # the cumulative value *at* the op is the depth it executes under).
+    slots = _np.flatnonzero(arr == OP_SETSLOT)
+    if slots.size:
+        bad = slots[depth[slots] == 0]
+        if bad.size:
+            problems.append(
+                IRProblem("IR004", "SETSLOT outside any frame", thread_id, int(bad[0]))
+            )
+    # Lock pairing: Python loop over only the sync ops.
+    held: set[int] = set()
+    ops = program.ops
+    for pc in _np.flatnonzero((arr == OP_ACQUIRE) | (arr == OP_RELEASE)).tolist():
+        op = ops[pc]
+        lock = op[1]
+        if op[0] == OP_ACQUIRE:
+            if lock in held:
+                problems.append(
+                    IRProblem("IR005", f"ACQUIRE of lock {lock} already held", thread_id, pc)
+                )
+            held.add(lock)
+        else:
+            if lock not in held:
+                problems.append(
+                    IRProblem("IR005", f"RELEASE of lock {lock} not held", thread_id, pc)
+                )
+            held.discard(lock)
+    if held:
+        problems.append(
+            IRProblem("IR005", f"program ends holding locks {sorted(held)}", thread_id)
+        )
+    return problems
+
+
+def gate_program(program: CompiledProgram) -> None:
+    """The vector-engine hard gate: verify once, cache on the program.
+
+    Raises :class:`IRVerificationError` when the program's structure
+    would break the batched/vectorized replay machinery; a clean result
+    is memoized on the compiled program so every later run (including
+    other DJVM instances reusing it) skips straight through.
+    """
+    if program._verified:
+        return
+    problems = verify_structure(program)
+    if problems:
+        raise IRVerificationError(problems)
+    program._verified = True
+
+
+# ---------------------------------------------------------------------------
+# full tier: per-op domains + whole-workload checks
+# ---------------------------------------------------------------------------
+
+
+def _check_fields(op: tuple, pc: int, tid: int | None) -> list[IRProblem]:
+    """IR002 field-domain checks for one op of known opcode and arity."""
+    code = op[0]
+    problems: list[IRProblem] = []
+
+    def bad(msg: str) -> None:
+        problems.append(IRProblem("IR002", msg, tid, pc))
+
+    if code in (OP_READ, OP_WRITE):
+        _, obj_id, n_elems, repeat, elem_off = op
+        if not isinstance(obj_id, int) or obj_id < 0:
+            bad(f"{OPCODE_NAMES[code]} obj_id {obj_id!r} is not a non-negative int")
+        if not isinstance(n_elems, int) or n_elems < 0:
+            bad(f"{OPCODE_NAMES[code]} n_elems {n_elems!r} is not a non-negative int")
+        if not isinstance(repeat, int) or repeat < 0:
+            bad(f"{OPCODE_NAMES[code]} repeat {repeat!r} is not a non-negative int")
+        if not isinstance(elem_off, int) or elem_off < 0:
+            bad(f"{OPCODE_NAMES[code]} elem_off {elem_off!r} is not a non-negative int")
+    elif code == OP_COMPUTE:
+        ns = op[1]
+        if not isinstance(ns, int) or ns < 0:
+            bad(f"COMPUTE ns {ns!r} is not a non-negative int")
+    elif code == OP_CALL:
+        _, method, n_slots, refs = op
+        if not isinstance(method, str):
+            bad(f"CALL method {method!r} is not a str")
+        if not isinstance(n_slots, int) or n_slots < 0:
+            bad(f"CALL n_slots {n_slots!r} is not a non-negative int")
+        if not isinstance(refs, tuple):
+            bad(f"CALL refs {refs!r} is not a tuple")
+        else:
+            for ref in refs:
+                if (
+                    not isinstance(ref, tuple)
+                    or len(ref) != 2
+                    or not isinstance(ref[0], int)
+                    or not isinstance(ref[1], int)
+                ):
+                    bad(f"CALL ref {ref!r} is not a (slot, obj_id) int pair")
+    elif code == OP_SETSLOT:
+        _, slot, obj_id = op
+        if not isinstance(slot, int) or slot < 0:
+            bad(f"SETSLOT slot {slot!r} is not a non-negative int")
+        if obj_id is not None and (not isinstance(obj_id, int) or obj_id < 0):
+            bad(f"SETSLOT obj_id {obj_id!r} is neither None nor a non-negative int")
+    elif code in (OP_ACQUIRE, OP_RELEASE, OP_BARRIER):
+        ident = op[1]
+        if not isinstance(ident, int) or ident < 0:
+            bad(f"{OPCODE_NAMES[code]} id {ident!r} is not a non-negative int")
+    return problems
+
+
+def verify_ops(ops, thread_id: int | None = None) -> list[IRProblem]:
+    """Full per-program verification of a raw op iterable.
+
+    Adds the per-op checks the gate tier skips: IR001 on raw (possibly
+    uncompilable) streams, IR002 arity/field domains, and IR006
+    (barrier crossed while holding a lock).  Structure (IR003/IR004/
+    IR005) is re-derived in the same pass.
+    """
+    problems: list[IRProblem] = []
+    depth = 0
+    held: set[int] = set()
+    for pc, op in enumerate(ops):
+        if not isinstance(op, tuple) or not op or not isinstance(op[0], int):
+            problems.append(
+                IRProblem("IR002", f"op {op!r} is not an opcode-led tuple", thread_id, pc)
+            )
+            continue
+        code = op[0]
+        if code not in _ARITY:
+            problems.append(IRProblem("IR001", f"unknown opcode {code}", thread_id, pc))
+            continue
+        if len(op) != _ARITY[code]:
+            problems.append(
+                IRProblem(
+                    "IR002",
+                    f"{OPCODE_NAMES[code]} op has {len(op)} fields, expected {_ARITY[code]}",
+                    thread_id,
+                    pc,
+                )
+            )
+            continue
+        problems.extend(_check_fields(op, pc, thread_id))
+        if code == OP_CALL:
+            depth += 1
+        elif code == OP_RET:
+            depth -= 1
+            if depth < 0:
+                problems.append(IRProblem("IR003", "RET with empty stack", thread_id, pc))
+                depth = 0
+        elif code == OP_SETSLOT:
+            if depth == 0:
+                problems.append(
+                    IRProblem("IR004", "SETSLOT outside any frame", thread_id, pc)
+                )
+        elif code == OP_ACQUIRE:
+            if op[1] in held:
+                problems.append(
+                    IRProblem("IR005", f"ACQUIRE of lock {op[1]} already held", thread_id, pc)
+                )
+            held.add(op[1])
+        elif code == OP_RELEASE:
+            if op[1] not in held:
+                problems.append(
+                    IRProblem("IR005", f"RELEASE of lock {op[1]} not held", thread_id, pc)
+                )
+            held.discard(op[1])
+        elif code == OP_BARRIER and held:
+            problems.append(
+                IRProblem(
+                    "IR006",
+                    f"BARRIER {op[1]} crossed while holding locks {sorted(held)}",
+                    thread_id,
+                    pc,
+                )
+            )
+    if depth > 0:
+        problems.append(
+            IRProblem("IR003", f"program ends with {depth} unpopped frame(s)", thread_id)
+        )
+    if held:
+        problems.append(
+            IRProblem("IR005", f"program ends holding locks {sorted(held)}", thread_id)
+        )
+    return problems
+
+
+def _object_ids_of(op: tuple):
+    """Object ids an op references (accesses plus reference moves)."""
+    code = op[0]
+    if code in (OP_READ, OP_WRITE):
+        yield op[1]
+    elif code == OP_CALL:
+        for _slot, obj_id in op[3]:
+            yield obj_id
+    elif code == OP_SETSLOT:
+        if op[2] is not None:
+            yield op[2]
+
+
+def verify_workload(ir) -> list[IRProblem]:
+    """Full whole-workload verification of a :class:`~repro.runtime.ir.
+    WorkloadIR`: every per-program check plus object-id domains (IR007),
+    cross-thread barrier pairing (IR008) and thread placement (IR009)."""
+    problems: list[IRProblem] = []
+    barrier_seqs: dict[int, tuple] = {}
+    for tid in ir.thread_ids():
+        program = ir.programs[tid]
+        problems.extend(verify_ops(program.ops, tid))
+        reported: set[int] = set()
+        for pc, op in enumerate(program.ops):
+            for obj_id in _object_ids_of(op):
+                if isinstance(obj_id, int) and obj_id not in ir.objects and obj_id not in reported:
+                    reported.add(obj_id)
+                    problems.append(
+                        IRProblem(
+                            "IR007", f"object {obj_id} is not allocated", tid, pc
+                        )
+                    )
+        barrier_seqs[tid] = tuple(
+            program.ops[pc][1] for pc, code in program.sync_points() if code == OP_BARRIER
+        )
+        node = ir.node_of_thread.get(tid)
+        if node is None or not 0 <= node < ir.n_nodes:
+            problems.append(
+                IRProblem(
+                    "IR009",
+                    f"thread placed on node {node!r} outside cluster of {ir.n_nodes}",
+                    tid,
+                )
+            )
+    tids = ir.thread_ids()
+    if tids:
+        reference = barrier_seqs[tids[0]]
+        for tid in tids[1:]:
+            seq = barrier_seqs[tid]
+            if seq != reference:
+                # Pinpoint the first divergence (where the run deadlocks).
+                idx = next(
+                    (
+                        i
+                        for i in range(max(len(seq), len(reference)))
+                        if i >= len(seq)
+                        or i >= len(reference)
+                        or seq[i] != reference[i]
+                    ),
+                    0,
+                )
+                mine = seq[idx] if idx < len(seq) else "<none>"
+                theirs = reference[idx] if idx < len(reference) else "<none>"
+                problems.append(
+                    IRProblem(
+                        "IR008",
+                        f"barrier sequence diverges from thread {tids[0]} at "
+                        f"episode {idx}: {mine} vs {theirs}",
+                        tid,
+                    )
+                )
+    return problems

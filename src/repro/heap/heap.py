@@ -31,11 +31,14 @@ class GlobalObjectSpace:
         *,
         length: int = 0,
         refs: Iterable[int] = (),
+        site: str | None = None,
     ) -> HeapObject:
         """Allocate a new shared object homed at ``home_node``.
 
         Arrays consume ``length`` consecutive per-class sequence numbers
-        (one per element); scalar objects consume one.
+        (one per element); scalar objects consume one.  ``site`` is an
+        optional allocation-site label for per-site static/profiling
+        reports (defaults to the class name downstream).
         """
         if isinstance(jclass, str):
             jclass = self.registry.get(jclass)
@@ -54,6 +57,7 @@ class GlobalObjectSpace:
             home_node=home_node,
             length=length,
             refs=list(refs),
+            site=site,
         )
         self._objects.append(obj)
         self._by_class.setdefault(jclass.class_id, []).append(obj.obj_id)

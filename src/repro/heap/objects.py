@@ -32,6 +32,10 @@ class HeapObject:
     refs: list[int] = field(default_factory=list)
     #: version bumped by the home on every applied write (HLRC bookkeeping).
     home_version: int = field(default=0, repr=False)
+    #: optional allocation-site label (workload-provided; the static
+    #: sharing analysis aggregates per site, falling back to the class
+    #: name when unset).
+    site: str | None = field(default=None, repr=False)
 
     @property
     def is_array(self) -> bool:

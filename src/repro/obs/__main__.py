@@ -16,6 +16,12 @@ Subcommands:
   the simulated results, schema-validates the exported Chrome trace,
   and asserts the telemetry wall overhead (self-overhead accounting)
   stays under the budget.
+* ``report [--workload W] [--nodes N] [--rate R]`` — run the dynamic
+  correlation profiler AND the static sharing analysis
+  (:mod:`repro.checks.staticflow`) on the same workload/placement, then
+  print the static-vs-dynamic comparison: normalized-TCM structure
+  accuracy, nonzero-support precision/recall, the per-site sharing
+  table, the static may-race set size and the placement candidates.
 """
 
 from __future__ import annotations
@@ -181,6 +187,79 @@ def cmd_gate(args) -> int:
     return run_gate(args.max_overhead, args.repeats)
 
 
+def static_vs_dynamic(workload: str, nodes: int, rate: float | str) -> dict:
+    """Run both views of one workload and compute the comparison record.
+
+    The static side analyzes a fresh build with the same ``block``
+    placement ``run_with_correlation`` uses, so object ids and
+    thread->node maps line up cell for cell.
+    """
+    from repro.checks.staticflow import analyze
+    from repro.core.accuracy import accuracy
+    from repro.core.tcm import normalize_tcm
+    from repro.placement.candidates import candidates_from_static
+
+    run = _run(workload, nodes, rate)
+    measured = run.suite.collector.tcm()
+    static = analyze(
+        WORKLOADS[workload](), n_nodes=nodes, placement="block", name=workload
+    )
+    predicted = static.sharing.predicted_tcm()
+    # The static TCM counts bytes once per pair; the dynamic one
+    # accumulates per-interval traffic.  Compare *structure*: normalize
+    # both to peak 1 before scoring.
+    norm_measured = normalize_tcm(measured)
+    norm_predicted = normalize_tcm(predicted)
+    pred_nz = norm_predicted > 0
+    meas_nz = norm_measured > 0
+    hits = int((pred_nz & meas_nz).sum())
+    precision = hits / int(pred_nz.sum()) if pred_nz.any() else 1.0
+    recall = hits / int(meas_nz.sum()) if meas_nz.any() else 1.0
+    return {
+        "run": run,
+        "static": static,
+        "measured": measured,
+        "predicted": predicted,
+        "structure_accuracy": accuracy(norm_predicted, norm_measured, metric="abs"),
+        "support_precision": precision,
+        "support_recall": recall,
+        "candidates": candidates_from_static(static),
+        "n_pairs_predicted": int(pred_nz.sum()),
+        "n_pairs_measured": int(meas_nz.sum()),
+    }
+
+
+def cmd_report(args) -> int:
+    cmp = static_vs_dynamic(args.workload, args.nodes, args.rate)
+    static = cmp["static"]
+    print(f"# static vs dynamic: {args.workload} on {args.nodes} nodes, rate {args.rate}")
+    if not static.verified:
+        for p in static.problems:
+            print(f"  {p.render()}", file=sys.stderr)
+        return 1
+    print(
+        f"TCM structure accuracy {cmp['structure_accuracy'] * 100:.1f}%  "
+        f"(nonzero pairs: predicted {cmp['n_pairs_predicted']}, "
+        f"measured {cmp['n_pairs_measured']}; "
+        f"precision {cmp['support_precision'] * 100:.0f}%, "
+        f"recall {cmp['support_recall'] * 100:.0f}%)"
+    )
+    counts = static.sharing.counts()
+    print("sharing: " + ", ".join(f"{n} {c}" for c, n in counts.items() if n))
+    for site in sorted(static.sharing.sites):
+        s = static.sharing.sites[site]
+        print(
+            f"  site {site:<24} {s.n_objects:>5} obj  "
+            f"{s.classification:<18} shared {s.shared_bytes} B"
+        )
+    print(f"static may-race set: {len(static.races)} pair(s)")
+    candidates = cmp["candidates"]
+    print(f"placement candidates: {len(candidates)}")
+    for cand in candidates:
+        print(f"  {cand.render()}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -218,6 +297,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-overhead", type=float, default=0.15)
     p.add_argument("--repeats", type=int, default=5)
     p.set_defaults(fn=cmd_gate)
+
+    p = sub.add_parser(
+        "report", help="static-vs-dynamic sharing comparison for one workload"
+    )
+    add_run_args(p)
+    p.set_defaults(fn=cmd_report)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -6,6 +6,7 @@ placement examples and the ablation benchmarks."""
 
 from repro.placement.partition import greedy_partition, refine_partition, partition_quality
 from repro.placement.balancer import CorrelationAwareBalancer, MigrationProposal
+from repro.placement.candidates import PlacementCandidate, candidates_from_static
 from repro.placement.runtime_balancer import OnlineRebalancer
 
 __all__ = [
@@ -15,4 +16,6 @@ __all__ = [
     "CorrelationAwareBalancer",
     "MigrationProposal",
     "OnlineRebalancer",
+    "PlacementCandidate",
+    "candidates_from_static",
 ]

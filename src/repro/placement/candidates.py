@@ -1,0 +1,117 @@
+"""Placement candidates fed from the *static* sharing analysis.
+
+The dynamic placement policies (:mod:`repro.placement.balancer`,
+:mod:`repro.placement.runtime_balancer`) act on measured TCMs.  The
+static sharing analysis (:mod:`repro.checks.staticflow.sharing`) can
+propose the same two kinds of actions before a single op has run:
+
+* **home-migration** — a ``single-writer`` object homed away from its
+  writer's node pays a diff round-trip per flush interval for no reason;
+  re-homing it to the writer is safe and strictly reduces traffic.
+* **colocate-threads** — a ``ping-pong`` site's objects bounce between
+  several writing nodes; co-locating the writing threads converts
+  remote invalidations into local writes.
+
+These are *candidates*, not decisions: the static view has no access
+frequencies, so the dynamic balancer (or the operator) weighs them by
+the predicted shared bytes and confirms against measured profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PlacementCandidate", "candidates_from_static"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementCandidate:
+    """One statically derived placement suggestion."""
+
+    #: ``"home-migration"`` or ``"colocate-threads"``.
+    kind: str
+    #: allocation-site label the suggestion aggregates over.
+    site: str
+    #: object ids covered (sorted).
+    obj_ids: tuple[int, ...]
+    #: threads involved (sorted): the writer(s) for home-migration, the
+    #: thread set to co-locate for colocate-threads.
+    threads: tuple[int, ...]
+    #: destination node for home-migration; None for colocate-threads
+    #: (the balancer picks the node).
+    target_node: int | None
+    #: predicted benefit proxy: total bytes of the covered objects.
+    weight: int
+    reason: str = field(repr=False)
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        where = f" -> node {self.target_node}" if self.target_node is not None else ""
+        return (
+            f"{self.kind:<17} site {self.site:<20} {len(self.obj_ids)} obj, "
+            f"threads {list(self.threads)}{where}, {self.weight} B: {self.reason}"
+        )
+
+
+def candidates_from_static(report) -> list[PlacementCandidate]:
+    """Derive placement candidates from a :class:`~repro.checks.
+    staticflow.report.StaticReport` (verified, with a sharing analysis).
+
+    Returns candidates sorted by descending weight (ties broken by site
+    name) — the order a budgeted consumer should take them in.
+    """
+    if report.sharing is None:
+        return []
+    ir = report.ir
+    # site -> (kind-specific accumulators)
+    mishomed: dict[tuple[str, int], list] = {}
+    pingpong: dict[str, list] = {}
+    for obj_id in sorted(report.sharing.objects):
+        sh = report.sharing.objects[obj_id]
+        info = ir.objects[obj_id]
+        if sh.classification == "single-writer":
+            writer = next(iter(sh.writers))
+            writer_node = ir.node_of_thread[writer]
+            if info.home_node != writer_node:
+                mishomed.setdefault((info.site, writer_node), []).append(
+                    (obj_id, writer, info.size_bytes)
+                )
+        elif sh.classification == "ping-pong":
+            pingpong.setdefault(info.site, []).append(
+                (obj_id, sorted(sh.writers), info.size_bytes)
+            )
+    out: list[PlacementCandidate] = []
+    for (site, node), entries in sorted(mishomed.items()):
+        obj_ids = tuple(e[0] for e in entries)
+        writers = tuple(sorted({e[1] for e in entries}))
+        weight = sum(e[2] for e in entries)
+        out.append(
+            PlacementCandidate(
+                kind="home-migration",
+                site=site,
+                obj_ids=obj_ids,
+                threads=writers,
+                target_node=node,
+                weight=weight,
+                reason=(
+                    f"single-writer objects homed off the writer's node; "
+                    f"re-home to node {node}"
+                ),
+            )
+        )
+    for site, entries in sorted(pingpong.items()):
+        obj_ids = tuple(e[0] for e in entries)
+        threads = tuple(sorted({t for e in entries for t in e[1]}))
+        weight = sum(e[2] for e in entries)
+        out.append(
+            PlacementCandidate(
+                kind="colocate-threads",
+                site=site,
+                obj_ids=obj_ids,
+                threads=threads,
+                target_node=None,
+                weight=weight,
+                reason="multiple writers ping-pong ownership; co-locate the writers",
+            )
+        )
+    return sorted(out, key=lambda c: (-c.weight, c.site, c.kind))

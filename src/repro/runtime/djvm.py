@@ -211,9 +211,22 @@ class DJVM:
             name, instance_size, is_array=is_array, element_size=element_size
         )
 
-    def allocate(self, jclass, home_node: int, *, length: int = 0, refs=()) -> HeapObject:
-        """Allocate a shared object homed at ``home_node``."""
-        return self.gos.allocate(jclass, home_node, length=length, refs=refs)
+    def allocate(
+        self, jclass, home_node: int, *, length: int = 0, refs=(), site: str | None = None
+    ) -> HeapObject:
+        """Allocate a shared object homed at ``home_node`` (``site`` is
+        an optional allocation-site label for per-site reports)."""
+        return self.gos.allocate(jclass, home_node, length=length, refs=refs, site=site)
+
+    def export_ir(self, programs: dict[int, object]):
+        """Export the static workload IR (programs + placement + object
+        graph) of this built DJVM for :mod:`repro.checks.staticflow`.
+
+        ``programs`` iterables are compiled (and consumed) here; a
+        subsequent :meth:`run` needs its own fresh streams."""
+        from repro.runtime.ir import export_ir
+
+        return export_ir(self, programs)
 
     def spawn_thread(self, node_id: int) -> SimThread:
         """Create one application thread on ``node_id``."""

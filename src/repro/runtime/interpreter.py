@@ -177,6 +177,16 @@ class Interpreter:
             and self.hlrc.racedetector is None
         ):
             self._vector = _make_vector_engine(self)
+            if self._vector is not None:
+                # The bulk replay machinery assumes structurally
+                # well-formed programs (balanced CALL/RET, framed
+                # SETSLOT, paired locks); hard-gate it on the staticflow
+                # IR verifier.  Verification is cached per compiled
+                # program, so reuse across runs pays once.
+                from repro.checks.staticflow.verifier import gate_program
+
+                for thread in self.threads:
+                    gate_program(thread.program)
         self._schedule_runnable()
         drain = getattr(kernel, "drain", None)
         if drain is not None:

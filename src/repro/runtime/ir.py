@@ -1,0 +1,95 @@
+"""Workload IR export: the static view of a built (not yet run) DJVM.
+
+The dynamic profilers observe a workload *as it executes*; the static
+analyses (:mod:`repro.checks.staticflow`) want the same information
+*before the first op runs*: the pre-decoded thread programs, the
+thread -> node placement, and the allocated object graph with classes,
+homes and sizes.  :class:`WorkloadIR` is that snapshot — an immutable
+export taken from a built DJVM, so the analysis layer never holds a
+live heap or mutates runtime state.
+
+The op-stream format itself (opcodes, tuple shapes) is owned by
+:mod:`repro.runtime.program`; this module only packages it with the
+workload structure the per-program view cannot see (which threads run
+where, which object ids exist, which barrier ids every thread must
+agree on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.program import CompiledProgram, compile_program
+
+__all__ = ["ObjectInfo", "WorkloadIR"]
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectInfo:
+    """Static facts about one allocated GOS object."""
+
+    obj_id: int
+    class_id: int
+    class_name: str
+    home_node: int
+    size_bytes: int
+    is_array: bool
+    length: int
+    #: allocation-site label (workload-provided, or the class name).
+    site: str
+
+
+@dataclass(slots=True)
+class WorkloadIR:
+    """The whole-workload static IR: programs + placement + object graph."""
+
+    n_nodes: int
+    #: thread id -> pre-decoded program.
+    programs: dict[int, CompiledProgram]
+    #: thread id -> hosting node at build time.
+    node_of_thread: dict[int, int]
+    #: object id -> static object facts.
+    objects: dict[int, ObjectInfo]
+
+    @property
+    def n_threads(self) -> int:
+        """Number of threads in the workload."""
+        return len(self.programs)
+
+    def thread_ids(self) -> list[int]:
+        """Thread ids in canonical (sorted) order."""
+        return sorted(self.programs)
+
+    def class_names(self) -> list[str]:
+        """Distinct class names of allocated objects, sorted."""
+        return sorted({self.objects[obj_id].class_name for obj_id in sorted(self.objects)})
+
+
+def export_ir(djvm, programs: dict[int, object]) -> WorkloadIR:
+    """Snapshot a built DJVM plus its thread programs into a
+    :class:`WorkloadIR` (the entry point :meth:`repro.runtime.djvm.DJVM.
+    export_ir` delegates to).
+
+    ``programs`` may be raw op iterables (typically generators from
+    ``workload.programs()``); they are compiled here, which *consumes*
+    one-shot iterables — hand the run its own fresh streams.
+    """
+    compiled = {tid: compile_program(p) for tid, p in sorted(programs.items())}
+    objects = {}
+    for obj in djvm.gos:
+        objects[obj.obj_id] = ObjectInfo(
+            obj_id=obj.obj_id,
+            class_id=obj.jclass.class_id,
+            class_name=obj.jclass.name,
+            home_node=obj.home_node,
+            size_bytes=obj.size_bytes,
+            is_array=obj.is_array,
+            length=obj.length,
+            site=obj.site if obj.site is not None else obj.jclass.name,
+        )
+    return WorkloadIR(
+        n_nodes=len(djvm.cluster),
+        programs=compiled,
+        node_of_thread={t.thread_id: t.node_id for t in djvm.threads},
+        objects=objects,
+    )

@@ -262,16 +262,17 @@ class BarnesHutWorkload(Workload):
         alloc_rng = seeded_rng(self.seed, "barnes_hut", "transient_allocs")
         for i in range(self.n_bodies):
             node = self.node_of(int(self._owner[i]))
-            pv = djvm.allocate(vect_cls, node).obj_id
-            vv = djvm.allocate(vect_cls, node).obj_id
-            av = djvm.allocate(vect_cls, node).obj_id
-            body = djvm.allocate(body_cls, node, refs=[pv, vv, av])
+            pv = djvm.allocate(vect_cls, node, site="bh.vect").obj_id
+            vv = djvm.allocate(vect_cls, node, site="bh.vect").obj_id
+            av = djvm.allocate(vect_cls, node, site="bh.vect").obj_id
+            body = djvm.allocate(body_cls, node, refs=[pv, vv, av], site="bh.body")
             self.body_ids.append(body.obj_id)
             self.vect_ids.append((pv, vv, av))
             for _ in range(int(alloc_rng.integers(0, 3))):
-                djvm.allocate(vect_cls, node)  # transient, never accessed
+                djvm.allocate(vect_cls, node, site="bh.transient")  # transient, never accessed
         bodies_arr = djvm.allocate(
-            arr_cls, self.node_of(0), length=self.n_bodies, refs=self.body_ids
+            arr_cls, self.node_of(0), length=self.n_bodies, refs=self.body_ids,
+            site="bh.bodies",
         )
         self.bodies_arr_id = bodies_arr.obj_id
 
@@ -441,15 +442,15 @@ class BarnesHutWorkload(Workload):
             if node.is_leaf:
                 refs = [self.body_ids[b] for b in node.bodies]
                 if refs:
-                    arr = djvm.allocate(arr_cls, home, length=max(len(refs), 1), refs=refs)
+                    arr = djvm.allocate(arr_cls, home, length=max(len(refs), 1), refs=refs, site="bh.tree")
                     node.arr_id = arr.obj_id
-                    leaf = djvm.allocate(leaf_cls, home, refs=[arr.obj_id])
+                    leaf = djvm.allocate(leaf_cls, home, refs=[arr.obj_id], site="bh.tree")
                 else:
-                    leaf = djvm.allocate(leaf_cls, home)
+                    leaf = djvm.allocate(leaf_cls, home, site="bh.tree")
                 node.obj_id = leaf.obj_id
                 return leaf.obj_id
             child_ids = [alloc(c) for c in node.children]
-            cell = djvm.allocate(cell_cls, home, refs=child_ids)
+            cell = djvm.allocate(cell_cls, home, refs=child_ids, site="bh.tree")
             node.obj_id = cell.obj_id
             return cell.obj_id
 

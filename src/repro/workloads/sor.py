@@ -74,11 +74,11 @@ class SORWorkload(Workload):
             for r in self.block_range(self.n, t, self.n_threads):
                 owner_of_row[r] = self.node_of(t)
         self.row_ids = [
-            djvm.allocate(row_cls, owner_of_row[r], length=self.n).obj_id
+            djvm.allocate(row_cls, owner_of_row[r], length=self.n, site="sor.rows").obj_id
             for r in range(self.n)
         ]
         matrix = djvm.allocate(
-            matrix_cls, self.node_of(0), length=self.n, refs=self.row_ids
+            matrix_cls, self.node_of(0), length=self.n, refs=self.row_ids, site="sor.matrix"
         )
         self.matrix_id = matrix.obj_id
 

@@ -94,16 +94,23 @@ class GroupSharingWorkload(Workload):
         for g in range(self.n_groups):
             home = self.node_of(g * self.group_size)
             self.group_pool.append(
-                [djvm.allocate(cls, home).obj_id for _ in range(self.objects_per_group)]
+                [
+                    djvm.allocate(cls, home, site="syn.group").obj_id
+                    for _ in range(self.objects_per_group)
+                ]
             )
         self.private_pool = []
         for t in range(self.n_threads):
             home = self.node_of(t)
             self.private_pool.append(
-                [djvm.allocate(cls, home).obj_id for _ in range(self.private_per_thread)]
+                [
+                    djvm.allocate(cls, home, site="syn.private").obj_id
+                    for _ in range(self.private_per_thread)
+                ]
             )
         self.global_pool = [
-            djvm.allocate(cls, self.node_of(0)).obj_id for _ in range(self.global_objects)
+            djvm.allocate(cls, self.node_of(0), site="syn.global").obj_id
+            for _ in range(self.global_objects)
         ]
 
     def program(self, thread_id: int):
@@ -267,10 +274,11 @@ class RacyCounterWorkload(Workload):
         """Define classes, allocate counter/config/scratch, spawn threads."""
         self._spawn(djvm, placement)
         cls = djvm.registry.define("Counter", self.object_size)
-        self.counter_id = djvm.allocate(cls, self.node_of(0)).obj_id
-        self.config_id = djvm.allocate(cls, self.node_of(0)).obj_id
+        self.counter_id = djvm.allocate(cls, self.node_of(0), site="racy.counter").obj_id  # shared
+        self.config_id = djvm.allocate(cls, self.node_of(0), site="racy.config").obj_id
         self.scratch_ids = [
-            djvm.allocate(cls, self.node_of(t)).obj_id for t in range(self.n_threads)
+            djvm.allocate(cls, self.node_of(t), site="racy.scratch").obj_id
+            for t in range(self.n_threads)
         ]
 
     def program(self, thread_id: int):
@@ -288,7 +296,7 @@ class RacyCounterWorkload(Workload):
                     yield P.acquire(0)
                 yield P.read(self.counter_id)
                 yield P.compute(int(rng.integers(500, 1_500)))
-                yield P.write(self.counter_id)
+                yield P.write(self.counter_id)  # simlint: disable=SIM012 (the seeded race; the locked variant orders it at runtime)
                 if self.locked:
                     yield P.release(0)
             yield P.write(self.scratch_ids[thread_id])

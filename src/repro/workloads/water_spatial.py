@@ -181,8 +181,8 @@ class WaterSpatialWorkload(Workload):
         self.coord_ids = [0] * self.n_molecules
         for c in range(n_cells):
             for m in members0[c]:
-                coords = djvm.allocate(coord_cls, mol_home[m], length=9)
-                mol = djvm.allocate(mol_cls, mol_home[m], refs=[coords.obj_id])
+                coords = djvm.allocate(coord_cls, mol_home[m], length=9, site="ws.coords")
+                mol = djvm.allocate(mol_cls, mol_home[m], refs=[coords.obj_id], site="ws.mol")
                 self.mol_ids[m] = mol.obj_id
                 self.coord_ids[m] = coords.obj_id
         for c in range(n_cells):
@@ -192,8 +192,9 @@ class WaterSpatialWorkload(Workload):
                 home,
                 length=max(len(members0[c]), 1),
                 refs=[self.mol_ids[m] for m in members0[c]],
+                site="ws.cell",
             )
-            cell = djvm.allocate(cell_cls, home, refs=[arr.obj_id])
+            cell = djvm.allocate(cell_cls, home, refs=[arr.obj_id], site="ws.cell")
             self.cell_arr_ids.append(arr.obj_id)
             self.cell_obj_ids.append(cell.obj_id)
 

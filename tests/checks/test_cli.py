@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-from repro.checks.__main__ import main, run_lint, run_race
+from repro.checks.__main__ import (
+    EXIT_LINT,
+    EXIT_RACE,
+    EXIT_STATIC,
+    main,
+    run_lint,
+    run_race,
+    run_static,
+)
 
 
 def test_lint_clean_file_exits_zero(tmp_path, capsys):
@@ -15,7 +23,7 @@ def test_lint_clean_file_exits_zero(tmp_path, capsys):
 def test_lint_finding_exits_nonzero(tmp_path, capsys):
     dirty = tmp_path / "dirty.py"
     dirty.write_text("def f(x=[]):\n    return x\n")
-    assert run_lint([str(dirty)]) == 1
+    assert run_lint([str(dirty)]) == EXIT_LINT
     out = capsys.readouterr().out
     assert "SIM006" in out and "dirty.py:1:" in out
 
@@ -23,7 +31,7 @@ def test_lint_finding_exits_nonzero(tmp_path, capsys):
 def test_main_lint_subcommand(tmp_path):
     dirty = tmp_path / "dirty.py"
     dirty.write_text("def f(x={}):\n    return x\n")
-    assert main(["lint", str(dirty)]) == 1
+    assert main(["lint", str(dirty)]) == EXIT_LINT
 
 
 def test_main_lint_defaults_to_repo_tree():
@@ -70,7 +78,7 @@ def test_race_gate_fails_on_unexpected_race(monkeypatch, capsys):
         "run_race_all",
         lambda verbose=True: [("SOR", 100, [_fake_report()], False)],
     )
-    assert run_race() == 1
+    assert run_race() == EXIT_RACE
     assert "unexpected race" in capsys.readouterr().err
 
 
@@ -82,7 +90,7 @@ def test_race_gate_fails_when_seeded_race_missed(monkeypatch, capsys):
         "run_race_all",
         lambda verbose=True: [("RacyCounter[racy]", 50, [], True)],
     )
-    assert run_race() == 1
+    assert run_race() == EXIT_RACE
     assert "seeded race NOT detected" in capsys.readouterr().err
 
 
@@ -91,4 +99,56 @@ def test_simlint_module_entry(tmp_path):
 
     dirty = tmp_path / "dirty.py"
     dirty.write_text("def f(x=[]):\n    return x\n")
-    assert simlint_main([str(dirty)]) == 1
+    assert simlint_main([str(dirty)]) == EXIT_LINT
+
+
+class TestExitCodes:
+    """Each failing gate has its own documented exit code."""
+
+    def test_codes_are_distinct(self):
+        from repro.checks.__main__ import EXIT_SANITIZE
+
+        codes = {EXIT_LINT, EXIT_SANITIZE, EXIT_RACE, EXIT_STATIC}
+        assert codes == {2, 3, 4, 5}
+
+    def test_help_documents_exit_codes(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        for code in ("2", "3", "4", "5"):
+            assert code in out
+
+
+class TestStaticGate:
+    def test_static_gate_passes_on_bundled_workloads(self, capsys):
+        assert run_static(verbose=False) == 0
+        assert "static: sound" in capsys.readouterr().out
+
+    def test_static_gate_writes_json(self, tmp_path):
+        import json
+
+        out = tmp_path / "static.json"
+        assert run_static(str(out), verbose=False) == 0
+        doc = json.loads(out.read_text())
+        assert "RacyCounter[racy]" in doc
+        assert doc["RacyCounter[racy]"]["may_races"]
+
+    def test_static_gate_fails_when_dynamic_uncovered(self, monkeypatch, capsys):
+        """An uncovered dynamic report must trip the soundness failure."""
+        import repro.checks.runner as runner
+
+        real = runner.run_race_all
+
+        def spiked(*, verbose=True):
+            out = real(verbose=verbose)
+            return [
+                (name, acc, reports + [_fake_report()] if name == "SOR" else reports, exp)
+                for name, acc, reports, exp in out
+            ]
+
+        monkeypatch.setattr(runner, "run_race_all", spiked)
+        assert run_static(verbose=False) == EXIT_STATIC
+        assert "UNSOUND" in capsys.readouterr().err

@@ -453,6 +453,118 @@ def test_sim011_disabled():
 
 
 # ---------------------------------------------------------------------------
+# SIM012: shared-annotated objects mutate under a lock
+# ---------------------------------------------------------------------------
+
+#: a workload module (SIM012's natural habitat; the rule applies to any
+#: non-test module with a # shared annotation).
+WORKLOAD = "src/repro/workloads/somefile.py"
+
+SHARED_PREAMBLE = """\
+class W:
+    def build(self, djvm):
+        self.counter_id = djvm.allocate(cls, 0).obj_id  # shared
+        self.scratch_ids = [djvm.allocate(cls, 0).obj_id for _ in range(4)]
+
+"""
+
+
+def test_sim012_positive_bare_write():
+    src = SHARED_PREAMBLE + (
+        "    def gen(self):\n"
+        "        yield P.write(self.counter_id)\n"
+    )
+    assert codes(src, WORKLOAD) == ["SIM012"]
+
+
+def test_sim012_positive_conditional_lock_does_not_cover():
+    """An acquire inside an `if` arm must not suppress the finding —
+    depth is tracked per block."""
+    src = SHARED_PREAMBLE + (
+        "    def gen(self):\n"
+        "        if self.locked:\n"
+        "            yield P.acquire(0)\n"
+        "        yield P.write(self.counter_id)\n"
+        "        if self.locked:\n"
+        "            yield P.release(0)\n"
+    )
+    assert codes(src, WORKLOAD) == ["SIM012"]
+
+
+def test_sim012_negative_locked_write():
+    src = SHARED_PREAMBLE + (
+        "    def gen(self):\n"
+        "        yield P.acquire(0)\n"
+        "        yield P.write(self.counter_id)\n"
+        "        yield P.release(0)\n"
+    )
+    assert codes(src, WORKLOAD) == []
+
+
+def test_sim012_negative_thread_partitioned_write():
+    src = SHARED_PREAMBLE + (
+        "    def gen(self, thread_id):\n"
+        "        yield P.write(self.scratch_ids[thread_id])\n"
+    )
+    assert codes(src, WORKLOAD) == []
+
+
+def test_sim012_negative_unannotated_name():
+    src = SHARED_PREAMBLE + (
+        "    def gen(self):\n"
+        "        yield P.write(self.scratch_ids[0])\n"
+    )
+    assert codes(src, WORKLOAD) == []
+
+
+def test_sim012_negative_read_is_fine():
+    src = SHARED_PREAMBLE + (
+        "    def gen(self):\n"
+        "        yield P.read(self.counter_id)\n"
+    )
+    assert codes(src, WORKLOAD) == []
+
+
+def test_sim012_negative_no_annotation_no_rule():
+    src = (
+        "class W:\n"
+        "    def build(self, djvm):\n"
+        "        self.counter_id = djvm.allocate(cls, 0).obj_id\n"
+        "    def gen(self):\n"
+        "        yield P.write(self.counter_id)\n"
+    )
+    assert codes(src, WORKLOAD) == []
+
+
+def test_sim012_negative_testish():
+    src = SHARED_PREAMBLE + (
+        "    def gen(self):\n"
+        "        yield P.write(self.counter_id)\n"
+    )
+    assert codes(src, TESTISH) == []
+
+
+def test_sim012_disabled():
+    src = SHARED_PREAMBLE + (
+        "    def gen(self):\n"
+        "        yield P.write(self.counter_id)  # simlint: disable=SIM012\n"
+    )
+    assert codes(src, WORKLOAD) == []
+
+
+def test_sim012_lock_scope_is_per_block():
+    """A write *after* the locked block's release is flagged."""
+    src = SHARED_PREAMBLE + (
+        "    def gen(self):\n"
+        "        yield P.acquire(0)\n"
+        "        yield P.write(self.counter_id)\n"
+        "        yield P.release(0)\n"
+        "        yield P.write(self.counter_id)\n"
+    )
+    assert codes(src, WORKLOAD) == ["SIM012"]
+
+
+# ---------------------------------------------------------------------------
 # engine behaviour
 # ---------------------------------------------------------------------------
 
@@ -480,7 +592,7 @@ def test_syntax_error_reported_not_raised():
 
 
 def test_every_rule_has_catalog_entry():
-    assert set(RULES) == {f"SIM00{i}" for i in range(1, 10)} | {"SIM010", "SIM011"}
+    assert set(RULES) == {f"SIM00{i}" for i in range(1, 10)} | {"SIM010", "SIM011", "SIM012"}
 
 
 def test_repo_tree_is_clean():

@@ -59,8 +59,12 @@ class TestProgramFailures:
             djvm.run({0: wrap_main([P.read(9999)])})
 
     def test_ret_on_empty_stack(self):
+        # The static IR gate (IR003) now rejects this before the
+        # interpreter's own IndexError would fire.
+        from repro.checks.staticflow import IRVerificationError
+
         djvm, obj = make(n_threads=1)
-        with pytest.raises(IndexError):
+        with pytest.raises((IndexError, IRVerificationError)):
             djvm.run({0: [P.ret()]})
 
     def test_generator_program_exception_surfaces(self):

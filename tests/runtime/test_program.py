@@ -111,3 +111,75 @@ class TestWorkloadProgramsAreValid:
         wl.build(DJVM(4, costs=CostModel.fast_test()))
         for t in range(4):
             assert validate_program(list(wl.program(t))) == []
+
+
+class TestCompiledProgramEdgeCases:
+    """IR edge cases the static analyses must handle without blowing up."""
+
+    def test_empty_program(self):
+        from repro.runtime.program import compile_program
+
+        prog = compile_program([])
+        assert prog.n_ops == 0
+        assert prog.codes == b""
+        assert prog.sync_points() == []
+        assert prog.vector_runs() == {}
+        assert validate_program(prog) == []
+
+    def test_single_segment_thread(self):
+        """A thread with no sync ops at all is one segment."""
+        from repro.runtime.program import compile_program
+
+        ops = ProgramBuilder().call("m", 2).read(0).write(0).ret().ops()
+        prog = compile_program(ops)
+        assert prog.sync_points() == []
+        assert validate_program(prog) == []
+
+    def test_back_to_back_barriers(self):
+        """Adjacent barriers produce empty segments, not bogus ones."""
+        from repro.runtime.program import compile_program
+
+        ops = [P.barrier(0), P.barrier(1), P.barrier(2)]
+        prog = compile_program(ops)
+        assert prog.sync_points() == [(0, P.OP_BARRIER), (1, P.OP_BARRIER), (2, P.OP_BARRIER)]
+
+    def test_max_opcode_id_accepted(self):
+        """OP_BARRIER (8) is the largest opcode and must compile."""
+        from repro.runtime.program import compile_program
+
+        prog = compile_program([P.barrier(0)])
+        assert prog.codes == bytes([P.OP_BARRIER])
+
+    def test_opcode_past_range_rejected(self):
+        import pytest
+
+        from repro.runtime.program import compile_program
+
+        with pytest.raises(ValueError, match="unknown opcode"):
+            compile_program([(P.OP_BARRIER + 1, 0)])
+
+    def test_sync_points_mixed_stream(self):
+        from repro.runtime.program import compile_program
+
+        ops = [
+            P.call("m", 2),
+            P.acquire(0),
+            P.read(1),
+            P.release(0),
+            P.barrier(0),
+            P.ret(),
+        ]
+        prog = compile_program(ops)
+        assert prog.sync_points() == [
+            (1, P.OP_ACQUIRE),
+            (3, P.OP_RELEASE),
+            (4, P.OP_BARRIER),
+        ]
+
+    def test_compile_is_idempotent_and_preserves_verified_flag(self):
+        from repro.runtime.program import compile_program
+
+        prog = compile_program([P.read(0)])
+        prog._verified = True
+        assert compile_program(prog) is prog
+        assert compile_program(prog)._verified
