@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint sanitize race static obs pdes frontier check bench bench-paper perf examples demo clean
+.PHONY: install test lint sanitize race static effects obs pdes frontier check bench bench-paper perf examples demo clean
 
 install:
 	pip install -e .
@@ -36,6 +36,12 @@ race:
 static:
 	PYTHONPATH=src python -m repro.checks static
 
+# Interprocedural effect/purity gate: observer purity (EFF1xx), clock
+# separation (EFF2xx) and partition safety (EFF3xx) over the
+# simulator's own source, checked against the committed effects.json.
+effects:
+	PYTHONPATH=src python -m repro.checks effects
+
 # Telemetry gate: a bench-scale workload with metrics + span tracing,
 # asserting byte-identity against the untraced run, Chrome-trace JSON
 # schema validity, and telemetry wall overhead under 15%.
@@ -44,6 +50,7 @@ obs:
 
 # The pre-merge gate: lint, tier-1 tests, sanitizer-enabled workloads,
 # the happens-before race gate, the static-analysis soundness gate,
+# the interprocedural effect/purity gate,
 # the telemetry gate, plus the perf
 # regression guard (wall-time within tolerance of BENCH_perf.json,
 # determinism checksums unchanged).  Does not rewrite the committed
@@ -53,6 +60,7 @@ check: lint
 	PYTHONPATH=src python -m repro.checks sanitize
 	PYTHONPATH=src python -m repro.checks race
 	PYTHONPATH=src python -m repro.checks static
+	PYTHONPATH=src python -m repro.checks effects
 	PYTHONPATH=src python -m repro.obs gate
 	$(MAKE) pdes
 	PYTHONPATH=src python benchmarks/perf_harness.py --repeats 3 --scale smoke --frontier smoke --output /tmp/BENCH_perf.check.json

@@ -17,7 +17,14 @@ Subcommands:
   must verify, the racy synthetic must yield a non-empty may-race set,
   and — the soundness cross-check — every dynamic FastTrack report
   must be covered by the static may-race set.
-* ``all`` (default) — lint, then sanitize, then race, then static.
+* ``effects`` — run the interprocedural effect/purity analysis
+  (:mod:`repro.checks.effects`) over the simulator's own source:
+  observer purity (EFF1xx), clock separation (EFF2xx) and partition
+  safety (EFF3xx); ``--write`` regenerates the committed
+  ``effects.json`` consumed by simlint and the partitioned kernel.
+* ``all`` (default) — run **every** gate (lint, sanitize, race,
+  static, effects), report each failure, and exit with the
+  highest-severity (numerically largest) failing code.
 
 Each failing subcommand exits with its own code (see ``--help``) so CI
 logs identify the failing gate without scraping stderr.
@@ -38,12 +45,18 @@ EXIT_LINT = 2
 EXIT_SANITIZE = 3
 EXIT_RACE = 4
 EXIT_STATIC = 5
+EXIT_EFFECTS = 6
 
 
 def run_lint(paths: list[str] | None = None) -> int:
-    """Lint ``paths``; print findings; return a process exit code."""
+    """Lint ``paths``; print findings; return a process exit code.
+
+    When the committed ``effects.json`` is present, the interprocedural
+    SIM009/SIM010 feeds sharpen the syntactic pass."""
+    from repro.checks.effects.summary import EffectsSummary
+
     paths = paths or DEFAULT_LINT_PATHS
-    findings = check_paths(paths)
+    findings = check_paths(paths, effects_summary=EffectsSummary.load())
     for finding in findings:
         print(finding.render())
     if findings:
@@ -173,6 +186,89 @@ def run_static(json_path: str | None = None, *, verbose: bool = True) -> int:
     return 0
 
 
+def run_effects(
+    src_root: str | None = None,
+    json_path: str | None = None,
+    write: str | None = None,
+    *,
+    verbose: bool = True,
+) -> int:
+    """Run the interprocedural effect/purity gate.
+
+    ``write`` regenerates ``effects.json`` (default location: next to
+    the ``src`` tree, i.e. the repository root); ``json_path`` dumps the
+    same document elsewhere without touching the committed copy.
+    """
+    from pathlib import Path
+
+    from repro.checks.effects import analyze_package
+    from repro.checks.effects.rules import render_summary_line
+    from repro.checks.effects.summary import DEFAULT_FILENAME
+
+    root = Path(src_root) if src_root else Path(__file__).resolve().parents[2]
+    report = analyze_package(root)
+
+    for finding in report.findings:
+        print(finding.render())
+    if verbose:
+        for finding in report.suppressed:
+            print(f"  suppressed: {finding.render()}")
+        print(render_summary_line(report))
+
+    doc = None
+    if json_path:
+        doc = report.to_json()
+        with open(json_path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"effects: wrote {json_path}")
+    if write is not None:
+        target = Path(write) if write else root.parent / DEFAULT_FILENAME
+        doc = doc or report.to_json()
+        with open(target, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"effects: wrote {target}")
+
+    if report.findings:
+        print(f"effects: {len(report.findings)} finding(s)", file=sys.stderr)
+        return EXIT_EFFECTS
+    print("effects: certified (observer purity, clock separation, partition safety)")
+    return 0
+
+
+#: gate name -> (runner, exit code), in ``all`` execution order.
+ALL_GATES = (
+    ("lint", lambda: run_lint(None), EXIT_LINT),
+    ("sanitize", run_sanitize, EXIT_SANITIZE),
+    ("race", run_race, EXIT_RACE),
+    ("static", run_static, EXIT_STATIC),
+    ("effects", run_effects, EXIT_EFFECTS),
+)
+
+
+def run_all() -> int:
+    """Run every gate; report all failures; exit max(failing codes).
+
+    Unlike the historical first-failure chain, a broken lint no longer
+    hides a broken race gate: CI shows the full damage in one run, and
+    the deterministic gate order keeps logs diffable.
+    """
+    codes: dict[str, int] = {}
+    for name, runner, _exit in ALL_GATES:
+        try:
+            codes[name] = runner()
+        except Exception as exc:  # a crashing gate is a failing gate
+            print(f"{name}: crashed: {exc!r}", file=sys.stderr)
+            codes[name] = _exit
+    failing = {name: code for name, code in codes.items() if code}
+    if failing:
+        summary = ", ".join(f"{n} (exit {c})" for n, c in failing.items())
+        print(f"checks: FAILED gates: {summary}", file=sys.stderr)
+        return max(failing.values())
+    print(f"checks: all {len(codes)} gates clean")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.checks",
@@ -180,8 +276,9 @@ def main(argv: list[str] | None = None) -> int:
         epilog=(
             "exit codes: 0 all clean; "
             f"{EXIT_LINT} lint findings; {EXIT_SANITIZE} sanitizer violation; "
-            f"{EXIT_RACE} race gate failed; {EXIT_STATIC} static gate failed. "
-            "`all` exits with the first failing gate's code."
+            f"{EXIT_RACE} race gate failed; {EXIT_STATIC} static gate failed; "
+            f"{EXIT_EFFECTS} effects gate failed. "
+            "`all` runs every gate and exits with the highest failing code."
         ),
     )
     sub = parser.add_subparsers(dest="command")
@@ -201,7 +298,25 @@ def main(argv: list[str] | None = None) -> int:
     static.add_argument(
         "--json", default=None, metavar="PATH", help="also write per-workload JSON reports"
     )
-    sub.add_parser("all", help="lint, sanitize, race, then static (default)")
+    effects = sub.add_parser(
+        "effects",
+        help=f"run the interprocedural effect/purity gate (exit {EXIT_EFFECTS} on findings)",
+    )
+    effects.add_argument(
+        "src_root", nargs="?", default=None, help="source tree to analyze (default: src)"
+    )
+    effects.add_argument(
+        "--json", default=None, metavar="PATH", help="also dump the full JSON report"
+    )
+    effects.add_argument(
+        "--write",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="regenerate the committed effects.json (default path: repo root)",
+    )
+    sub.add_parser("all", help="run every gate, exit max failing code (default)")
     args = parser.parse_args(argv)
 
     if args.command == "lint":
@@ -212,10 +327,9 @@ def main(argv: list[str] | None = None) -> int:
         return run_race()
     if args.command == "static":
         return run_static(args.json)
-    code = run_lint(None)
-    code = code or run_sanitize()
-    code = code or run_race()
-    return code or run_static()
+    if args.command == "effects":
+        return run_effects(args.src_root, args.json, args.write)
+    return run_all()
 
 
 if __name__ == "__main__":

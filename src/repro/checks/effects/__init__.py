@@ -1,0 +1,60 @@
+"""Interprocedural effect & purity analysis over the simulator source.
+
+Where :mod:`repro.checks.staticflow` analyzes the *workload IR*, this
+package analyzes the simulator's **own Python source**: it builds a
+class-hierarchy-aware call graph over ``src/repro/`` with stdlib
+:mod:`ast`, runs a fixed-point effect inference assigning every
+function a lattice value (``pure`` -> ``reads-sim-state`` ->
+``writes-sim-state`` -> ``host-effect``), and statically certifies the
+three properties the repo otherwise only proves dynamically through
+byte-identity checksums:
+
+* **EFF1xx observer purity** — the race detector, protocol sanitizer,
+  span tracer and telemetry collectors never perturb simulated state;
+* **EFF2xx clock separation** — host time never flows into simulated
+  time (event scheduling, clock advances);
+* **EFF3xx partition safety** — worker-dispatched callables touch other
+  partitions' state only through the :class:`~repro.sim.network.Network`.
+
+Run it as ``python -m repro.checks effects`` (exit code 6 on
+unsuppressed findings); ``--write`` regenerates the committed
+``effects.json`` consumed by simlint and the partitioned kernel.
+
+The analysis submodules load lazily: importing this package (which the
+partition kernel does on its construction path, via
+:mod:`~repro.checks.effects.summary`) must stay cheap.
+"""
+
+from __future__ import annotations
+
+from repro.checks.effects.lattice import EFFECT_NAMES, Effect
+from repro.checks.effects.summary import EffectsSummary, default_summary_path
+
+__all__ = [
+    "Effect",
+    "EFFECT_NAMES",
+    "EffectsSummary",
+    "default_summary_path",
+    "analyze_package",
+    "analyze_sources",
+]
+
+
+def analyze_package(src_root, package: str = "repro"):
+    """Parse + analyze every module under ``src_root/package`` and run
+    the rule families.  Returns an
+    :class:`~repro.checks.effects.rules.EffectsReport`."""
+    from repro.checks.effects.codebase import Codebase
+    from repro.checks.effects.infer import analyze
+    from repro.checks.effects.rules import run_rules
+
+    return run_rules(analyze(Codebase.from_package(src_root, package)))
+
+
+def analyze_sources(sources: dict, config=None):
+    """Analyze in-memory ``{module_name: source}`` (fixtures/tests)."""
+    from repro.checks.effects.codebase import Codebase
+    from repro.checks.effects.infer import analyze
+    from repro.checks.effects.rules import run_rules
+
+    return run_rules(analyze(Codebase.from_sources(sources), config))

@@ -1,0 +1,306 @@
+"""The three EFF rule families over the inferred summaries.
+
+EFF1xx — observer purity
+    Everything reachable from the nullable observer slots
+    (``hlrc.sanitizer`` / ``hlrc.racedetector`` / ``hlrc.tracer``) and
+    from registered telemetry collectors must stay at or below
+    ``reads-sim-state``.  Writes rooted at the observer itself are its
+    own state and always allowed; writes into whitelisted
+    observer-owned classes/attributes pass the ownership check; wall
+    clock use that only feeds the sanctioned ``self_ns`` self-overhead
+    meter is exempt.
+    * EFF101 — host effect reachable from an observer entry point
+    * EFF102 — observer writes engine-owned state
+
+EFF2xx — clock separation
+    Host time must never flow into simulated time.
+    * EFF201 — host-time value used as an event-schedule time
+    * EFF202 — host-time value advances or is stored into a sim clock
+
+EFF3xx — partition safety
+    Callables dispatched inside ``PartitionedEventLoop`` workers may
+    only touch state of other partitions through the network (a write
+    modelling the receipt of a message lives in a function that also
+    performs the ``Network.send``).  Callbacks scheduled as
+    ``BARRIER_RELEASE`` run with every partition aligned at the barrier
+    frontier and are exempt.
+    * EFF301 — cross-partition (foreign-indexed table) write without a
+      mediating ``Network.send`` in the same function
+    * EFF302 — host effect inside the worker-dispatched closure (the
+      semantic form of simlint SIM010)
+
+Suppression: a trailing ``# effects: disable=EFF301`` (comma list, or
+``all``) on the offending line. Suppressed findings are kept on the
+report (they document sanctioned seams) but do not gate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.checks.effects.codebase import Codebase
+from repro.checks.effects.infer import Analysis, EffectsConfig
+from repro.checks.effects.lattice import EFFECT_NAMES, FunctionSummary
+
+__all__ = ["Finding", "EffectsReport", "run_rules", "RULES"]
+
+RULES = {
+    "EFF101": "host effect reachable from an observer entry point",
+    "EFF102": "observer writes engine-owned state",
+    "EFF201": "host-time value used as an event-schedule time",
+    "EFF202": "host-time value flows into a simulated clock",
+    "EFF301": "cross-partition write without Network mediation in a worker callable",
+    "EFF302": "host effect inside the worker-dispatched closure",
+}
+
+_DISABLE_RE = re.compile(r"#\s*effects:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation, anchored at the offending source line."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+    #: rule-family root the fact is reachable from ("" for EFF2xx).
+    root: str = ""
+
+    def render(self) -> str:
+        via = f" [reachable from {self.root}]" if self.root else ""
+        return f"{self.path}:{self.line}: {self.code} {self.message}{via}"
+
+
+@dataclass(slots=True)
+class EffectsReport:
+    """Analysis output: findings + the machine-readable summary feed."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    analysis: Analysis
+    #: observer entry-point qualname -> how it was discovered.
+    observer_roots: dict[str, str] = field(default_factory=dict)
+    #: worker callback qualname -> {"kind", "status", "line"}.
+    worker_roots: dict[str, dict] = field(default_factory=dict)
+    #: every function reachable from a non-exempt worker root.
+    worker_closure: list[str] = field(default_factory=list)
+
+    @property
+    def summaries(self) -> dict[str, FunctionSummary]:
+        return self.analysis.summaries
+
+    def to_json(self) -> dict:
+        from repro.checks.effects.summary import build_doc
+
+        return build_doc(self)
+
+
+def _disabled(cb: Codebase, path_index: dict[str, list[str]], f: Finding) -> bool:
+    lines = path_index.get(f.path)
+    if lines is None or not (1 <= f.line <= len(lines)):
+        return False
+    m = _DISABLE_RE.search(lines[f.line - 1])
+    if not m:
+        return False
+    codes = {c.strip() for c in m.group(1).split(",")}
+    return f.code in codes or "all" in codes
+
+
+def run_rules(analysis: Analysis) -> EffectsReport:
+    """Evaluate every rule family; split findings by suppression."""
+    cb = analysis.codebase
+    cfg = analysis.config
+    summaries = analysis.summaries
+    raw: list[Finding] = []
+
+    # ------------------------------------------------------------------
+    # EFF1xx: observer purity
+    # ------------------------------------------------------------------
+    slot_classes: dict[str, set[str]] = {s: set() for s in cfg.observer_slots}
+    for slot, cls in analysis.slot_bindings:
+        slot_classes[slot].add(cls)
+    for name in cfg.observer_class_hints:
+        for qual in cb.classes_by_name.get(name, []):
+            # hints bind to every slot: the wiring may change, the
+            # class's purity obligation does not.
+            for slot in slot_classes:
+                slot_classes[slot].add(qual)
+
+    observer_roots: dict[str, str] = {}
+    for slot, method, _line, _site in analysis.observer_calls:
+        if method.startswith("attach"):
+            # wiring-phase plumbing (``attach_kernel`` et al.) runs at
+            # setup, not as a runtime hook; purity applies to hooks.
+            continue
+        for cls in sorted(slot_classes.get(slot, ())):
+            fi = cb.resolve_method(cls, method)
+            if fi is not None:
+                observer_roots.setdefault(fi.qualname, f"slot {slot}")
+    for qual in analysis.collector_regs:
+        observer_roots.setdefault(qual, "telemetry collector")
+
+    owned_simple = set(cfg.owned_classes)
+    for root, how in sorted(observer_roots.items()):
+        s = summaries.get(root)
+        if s is None:
+            continue
+        for h in sorted(s.trans_host, key=lambda h: (h.path, h.line)):
+            raw.append(
+                Finding(
+                    h.path, h.line, "EFF101",
+                    f"host effect ({h.kind}: {h.detail}) in {h.origin}, "
+                    f"reachable from observer {how}",
+                    root=root,
+                )
+            )
+        for w in sorted(s.trans_writes, key=lambda w: (w.path, w.line)):
+            if w.root == "self":
+                continue
+            if w.cls is not None and w.cls.rsplit(".", 1)[-1] in owned_simple:
+                continue
+            if w.attr in cfg.owned_attrs:
+                continue
+            raw.append(
+                Finding(
+                    w.path, w.line, "EFF102",
+                    f"{w.origin} writes engine state (.{w.attr} via {w.root}"
+                    + (f", {w.cls.rsplit('.', 1)[-1]}" if w.cls else "")
+                    + f"), reachable from observer {how}",
+                    root=root,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # EFF2xx: clock separation (every function, not just closures)
+    # ------------------------------------------------------------------
+    for q in sorted(summaries):
+        for fl in summaries[q].flows:
+            code = "EFF201" if fl.sink == "schedule" else "EFF202"
+            raw.append(Finding(fl.path, fl.line, code, f"{fl.detail} in {fl.origin}"))
+
+    # ------------------------------------------------------------------
+    # EFF3xx: partition safety over the worker-dispatched closure
+    # ------------------------------------------------------------------
+    worker_roots: dict[str, dict] = {}
+    for qual, kind, line, _site in analysis.schedule_callbacks:
+        exempt = kind in cfg.exempt_event_kinds
+        entry = worker_roots.setdefault(
+            qual, {"kind": kind, "status": "exempt" if exempt else "certified", "line": line}
+        )
+        if not exempt and entry["status"] == "exempt" and entry["kind"] != kind:
+            entry["status"] = "certified"
+            entry["kind"] = kind
+
+    closure: set[str] = set()
+    frontier = [q for q, e in worker_roots.items() if e["status"] != "exempt"]
+    while frontier:
+        q = frontier.pop()
+        if q in closure:
+            continue
+        closure.add(q)
+        s = summaries.get(q)
+        if s is None:
+            continue
+        for cs in s.calls:
+            for t in cs.targets:
+                if t not in closure and t in summaries:
+                    frontier.append(t)
+
+    seen: set[tuple[str, int, str]] = set()
+    for q in sorted(closure):
+        s = summaries[q]
+        if not s.calls_network_send:
+            for w in s.writes:
+                if not w.foreign:
+                    continue
+                key = (w.path, w.line, "EFF301")
+                if key in seen:
+                    continue
+                seen.add(key)
+                raw.append(
+                    Finding(
+                        w.path, w.line, "EFF301",
+                        f"{w.origin} writes cross-partition state (.{w.attr} via "
+                        f"{w.root}) with no Network.send mediating it",
+                        root=q,
+                    )
+                )
+        if not s.self_accounting:
+            for h in s.host:
+                key = (h.path, h.line, "EFF302")
+                if key in seen:
+                    continue
+                seen.add(key)
+                raw.append(
+                    Finding(
+                        h.path, h.line, "EFF302",
+                        f"host effect ({h.kind}: {h.detail}) in worker-dispatched {h.origin}",
+                        root=q,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # suppression split
+    # ------------------------------------------------------------------
+    path_index = {m.path: m.source_lines for m in cb.modules.values()}
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f in sorted(set(raw), key=lambda f: (f.path, f.line, f.code, f.message)):
+        (suppressed if _disabled(cb, path_index, f) else findings).append(f)
+
+    # a worker root whose closure carries an unsuppressed EFF3xx is not
+    # certified — the runtime validator refuses to dispatch it.
+    bad_roots = {f.root for f in findings if f.code.startswith("EFF3")}
+    for qual, entry in worker_roots.items():
+        if entry["status"] == "certified" and _reaches(summaries, qual, bad_roots):
+            entry["status"] = "violation"
+
+    report = EffectsReport(
+        findings=findings,
+        suppressed=suppressed,
+        analysis=analysis,
+        observer_roots=observer_roots,
+        worker_roots=worker_roots,
+        worker_closure=sorted(closure),
+    )
+    return report
+
+
+def _reaches(
+    summaries: dict[str, FunctionSummary], root: str, bad: set[str]
+) -> bool:
+    if not bad:
+        return False
+    seen: set[str] = set()
+    frontier = [root]
+    while frontier:
+        q = frontier.pop()
+        if q in bad:
+            return True
+        if q in seen:
+            continue
+        seen.add(q)
+        s = summaries.get(q)
+        if s is None:
+            continue
+        for cs in s.calls:
+            frontier.extend(t for t in cs.targets if t not in seen)
+    return False
+
+
+def render_summary_line(report: EffectsReport) -> str:
+    """The one-line gate verdict."""
+    summaries = report.summaries
+    by_level: dict[str, int] = {}
+    for s in summaries.values():
+        name = EFFECT_NAMES[s.effect()]
+        by_level[name] = by_level.get(name, 0) + 1
+    levels = ", ".join(f"{by_level.get(n, 0)} {n}" for n in EFFECT_NAMES.values())
+    return (
+        f"effects: {len(summaries)} functions ({levels}); "
+        f"{len(report.observer_roots)} observer roots, "
+        f"{len(report.worker_roots)} worker callables, "
+        f"{len(report.suppressed)} suppressed finding(s)"
+    )

@@ -48,7 +48,17 @@ SIM012    write to a shared-annotated object outside a lock region: a
           calls naming it must sit between ``acquire``/``release`` in
           the same block (writes indexed by ``thread_id``/``tid`` are
           thread-partitioned and exempt)
+SIM013    silent exception swallow (``except Exception: pass`` /
+          ``except: pass``) inside the engine subtrees
+          (``repro/{runtime,dsm,sim,heap}/``) — a swallowed error there
+          turns a crash into a silent divergence of simulated state
 ========  ==============================================================
+
+Semantic sharpening: when the committed ``effects.json`` summary (see
+:mod:`repro.checks.effects`) is available, :func:`semantic_findings`
+adds interprocedural SIM009/SIM010 findings the syntactic pass cannot
+see — alias-tracked ``counters`` mutations and host effects reached
+*through calls* from worker-dispatched callables.
 
 Escape hatch: append ``# simlint: disable=SIM003`` (comma-separate for
 several codes, or ``disable=all``) to the offending line.  A disable on
@@ -64,7 +74,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
-__all__ = ["Finding", "check_source", "check_file", "check_paths", "main", "RULES"]
+__all__ = [
+    "Finding",
+    "check_source",
+    "check_file",
+    "check_paths",
+    "semantic_findings",
+    "main",
+    "RULES",
+]
 
 #: package subtrees forming the deterministic simulation core.
 DETERMINISTIC_PREFIXES = (
@@ -232,7 +250,17 @@ RULES: dict[str, str] = {
     "SIM010": "process/wall-clock API in a partition-worker module outside the sanctioned worker harness",
     "SIM011": "direct sampling-state mutation (gap_table / per-class counters) outside repro/core/sampling.py",
     "SIM012": "write to a shared-annotated object outside an acquire/release region",
+    "SIM013": "silent exception swallow (except ...: pass) inside the engine subtrees",
 }
+
+#: subtrees where a silently swallowed exception means silent state
+#: divergence rather than a visible crash (SIM013's scope).
+SILENT_SWALLOW_PREFIXES = (
+    "repro/runtime/",
+    "repro/dsm/",
+    "repro/sim/",
+    "repro/heap/",
+)
 
 #: module prefix exempt from SIM009 — the registry itself.
 METRICS_HOME_PREFIX = "repro/obs/"
@@ -339,6 +367,10 @@ class _Checker(ast.NodeVisitor):
         self.hot_module = not self.testish and self.mod in HOT_MODULES
         #: SIM010 scope: partition-worker module (harness exempt).
         self.partition_worker = not self.testish and _is_partition_worker(self.mod)
+        #: SIM013 scope: engine subtree where swallowed errors diverge state.
+        self.engine_module = not self.testish and self.mod.startswith(
+            SILENT_SWALLOW_PREFIXES
+        )
         self.disabled = _disabled_lines(source)
         self.findings: list[Finding] = []
         #: names bound by ``from time import ...`` that read the wall clock.
@@ -767,6 +799,41 @@ class _Checker(ast.NodeVisitor):
             "index by thread_id to make the partitioning explicit",
         )
 
+    # -- SIM013: silent exception swallows in the engine -----------------
+
+    @staticmethod
+    def _is_noop_body(body: list[ast.stmt]) -> bool:
+        """A handler body that discards the error: only ``pass`` /
+        bare ``...`` statements."""
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            ):
+                continue
+            return False
+        return True
+
+    def visit_Try(self, node: ast.Try) -> None:
+        if self.engine_module:
+            for handler in node.handlers:
+                caught = _terminal_name(handler.type) if handler.type is not None else None
+                broad = handler.type is None or caught in ("Exception", "BaseException")
+                if broad and self._is_noop_body(handler.body):
+                    what = f"except {caught}" if caught else "bare except"
+                    self.report(
+                        handler,
+                        "SIM013",
+                        f"{what}: pass silently swallows errors inside the engine; "
+                        "a fault here must surface (re-raise, narrow the type, or "
+                        "record it) — silent swallows turn crashes into state "
+                        "divergence",
+                    )
+        self.generic_visit(node)
+
     # -- SIM009: counters must live in the metrics registry -------------
 
     def _check_counters_mutation(self, target: ast.AST, node: ast.AST) -> None:
@@ -879,12 +946,83 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield p
 
 
-def check_paths(paths: Iterable[str | Path]) -> list[Finding]:
-    """Lint every .py file under ``paths``."""
+def check_paths(
+    paths: Iterable[str | Path], *, effects_summary=None
+) -> list[Finding]:
+    """Lint every .py file under ``paths``.
+
+    When ``effects_summary`` (an
+    :class:`~repro.checks.effects.summary.EffectsSummary`) is given, the
+    interprocedural SIM009/SIM010 feeds are folded in and deduplicated
+    against the syntactic findings.
+    """
+    files = list(iter_python_files(paths))
     findings: list[Finding] = []
-    for p in iter_python_files(paths):
+    for p in files:
         findings.extend(check_file(p))
+    if effects_summary is not None:
+        seen = {(Path(f.path).as_posix(), f.line, f.code) for f in findings}
+        for f in semantic_findings(effects_summary, files):
+            if (Path(f.path).as_posix(), f.line, f.code) not in seen:
+                findings.append(f)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
+
+
+def semantic_findings(
+    summary, checked_files: Iterable[str | Path]
+) -> list[Finding]:
+    """SIM009/SIM010 findings sourced from the effect analysis.
+
+    The syntactic rules only see a mutation or host call spelled at the
+    flagged line; the ``effects.json`` feeds carry facts proven *through
+    the call graph*: ``counter_writes`` are alias-tracked ``counters``
+    mutations outside the registry (semantic SIM009), ``host_in_worker``
+    are host effects anywhere in the worker-dispatched closure, not just
+    in partition-worker *modules* (semantic SIM010).  Findings honor the
+    standard ``# simlint: disable=`` escape hatch on the flagged line.
+    """
+    by_suffix: dict[str, Path] = {}
+    for f in checked_files:
+        by_suffix[Path(f).as_posix()] = Path(f)
+
+    def locate(rel: str) -> Path | None:
+        for posix, p in by_suffix.items():
+            if posix.endswith(rel):
+                return p
+        return None
+
+    out: list[Finding] = []
+
+    def emit(rel: str, entries: list, code: str, render) -> None:
+        p = locate(rel)
+        if p is None or not p.is_file():
+            return
+        disabled = _disabled_lines(p.read_text(encoding="utf-8"))
+        for entry in entries:
+            line = int(entry[0])
+            codes = disabled.get(line, ())
+            if code in codes or "ALL" in codes:
+                continue
+            out.append(Finding(str(p), line, 0, code, render(entry)))
+
+    for rel, entries in sorted(summary.counter_writes.items()):
+        emit(
+            rel, entries, "SIM009",
+            lambda e: (
+                f"alias-tracked counters[...] mutation in {e[1]} outside the "
+                "metrics registry (interprocedural, via effects.json)"
+            ),
+        )
+    for rel, entries in sorted(summary.host_in_worker.items()):
+        emit(
+            rel, entries, "SIM010",
+            lambda e: (
+                f"host effect ({e[2]}) in {e[1]}, reached from a worker-"
+                "dispatched callable (interprocedural, via effects.json)"
+            ),
+        )
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -79,6 +79,7 @@ class DJVM:
         partitions: int | None = None,
         replay: str = "vector",
         sampling_backend=None,
+        validate_effects: "bool | object" = True,
     ) -> None:
         if kernel not in ("serial", "partitioned"):
             raise ValueError(f"kernel must be 'serial' or 'partitioned', got {kernel!r}")
@@ -107,6 +108,10 @@ class DJVM:
         #: name ("prime_gap" | "poisson" | "hash" | "hybrid"), or a
         #: ready repro.core.sampling.SamplingBackend instance.
         self.sampling_backend = sampling_backend
+        #: partitioned-kernel worker certification against the committed
+        #: ``effects.json``: True (load it if present), False (off), or
+        #: an injected :class:`~repro.checks.effects.summary.EffectsSummary`.
+        self.validate_effects = validate_effects
         self.cluster = Cluster(
             n_nodes,
             costs=costs if costs is not None else CostModel.gideon300(),
@@ -326,6 +331,7 @@ class DJVM:
                 lookahead_ns=self.cluster.network.min_latency_ns,
                 keep_trace=self.keep_event_trace,
                 aux_capacity=self.aux_capacity,
+                validate_effects=self.validate_effects,
             )
         interp = Interpreter(
             self.hlrc,

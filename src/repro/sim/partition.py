@@ -41,6 +41,11 @@ from repro.sim.events import Event, EventKind, EventLoop
 from repro.sim.workerpool import InlineWorkerPool
 
 
+class WorkerEffectsError(RuntimeError):
+    """A worker-dispatched callable the effect analysis refused to
+    certify (see ``python -m repro.checks effects``)."""
+
+
 class NodeGroupPartitioner:
     """Maps events to partitions by contiguous node blocks.
 
@@ -117,6 +122,8 @@ class PartitionedEventLoop(EventLoop):
         "lookahead_violations",
         "frontier_syncs",
         "max_skew_ns",
+        "_effects",
+        "_effects_memo",
     )
 
     def __init__(
@@ -127,6 +134,7 @@ class PartitionedEventLoop(EventLoop):
         keep_trace: bool = False,
         aux_capacity: int | None = None,
         pool: InlineWorkerPool | None = None,
+        validate_effects: "bool | object" = True,
     ) -> None:
         super().__init__(keep_trace=keep_trace, aux_capacity=aux_capacity)
         if lookahead_ns < 0:
@@ -174,6 +182,31 @@ class PartitionedEventLoop(EventLoop):
         #: LBTS observed at a window open (how far ahead the busiest
         #: partition could run).
         self.max_skew_ns = 0
+        # --- static worker certification --------------------------------
+        #: the committed ``effects.json`` view (None: validation off or
+        #: no summary available — the static gate, not this check, is
+        #: the enforcement point).
+        self._effects = None
+        #: underlying-function -> certification verdict memo; schedule()
+        #: pays one dict hit per distinct worker callable, not a string
+        #: build per event.
+        self._effects_memo: dict[object, bool] = {}
+        if validate_effects:
+            if validate_effects is True:
+                from repro.checks.effects.summary import EffectsSummary
+
+                summary = EffectsSummary.load()
+            else:
+                summary = validate_effects
+            if summary is not None:
+                bad = summary.violations()
+                if bad:
+                    raise WorkerEffectsError(
+                        "effects.json refuses to certify worker callable(s): "
+                        + ", ".join(bad)
+                        + " — rerun `python -m repro.checks effects`"
+                    )
+                self._effects = summary
 
     # ------------------------------------------------------------------
 
@@ -189,6 +222,8 @@ class PartitionedEventLoop(EventLoop):
         the frontier when it becomes the partition's new head."""
         if time_ns < 0:
             raise ValueError(f"cannot schedule an event at negative time {time_ns}")
+        if callback is not None and self._effects is not None:
+            self._check_callback(callback)
         event = Event(int(time_ns), self._seq, kind, actor, data, callback)
         self._seq += 1
         self.scheduled += 1
@@ -219,6 +254,25 @@ class PartitionedEventLoop(EventLoop):
             heapq.heappush(self._frontier, (event.time_ns, event.seq, pid))
             self.frontier_syncs += 1
         return event
+
+    def _check_callback(self, callback: "Callable[[Event], None]") -> None:
+        """Refuse a worker callable the effect analysis marked as a
+        partition-safety violation.  Callables the analysis never saw
+        (test doubles, ad-hoc lambdas) are allowed — the static gate
+        covers the shipped source; this check covers stale summaries.
+        """
+        fn = getattr(callback, "__func__", callback)
+        ok = self._effects_memo.get(fn)
+        if ok is None:
+            qualname = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', '?')}"
+            ok = self._effects.worker_status(qualname) != "violation"
+            self._effects_memo[fn] = ok
+        if not ok:
+            raise WorkerEffectsError(
+                f"worker callable {callback!r} is marked as a partition-safety "
+                "violation in effects.json — fix it or rerun "
+                "`python -m repro.checks effects --write`"
+            )
 
     def pop(self) -> Event | None:
         """Remove and return the globally earliest live event.

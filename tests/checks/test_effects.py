@@ -1,0 +1,554 @@
+"""Interprocedural effect/purity analysis: lattice, rule families on
+seeded-violation fixtures, the repo self-check, the ``effects.json``
+round trip, and the partitioned kernel's worker certification."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checks.effects import (
+    EFFECT_NAMES,
+    Effect,
+    EffectsSummary,
+    analyze_package,
+    analyze_sources,
+)
+from repro.checks.effects.summary import SCHEMA_VERSION, build_doc
+
+# ---------------------------------------------------------------------------
+# shared fixture scaffolding: a miniature event kernel + engine
+# ---------------------------------------------------------------------------
+
+KERNEL = """
+class EventKind:
+    MESSAGE_DELIVER = 1
+    BARRIER_RELEASE = 2
+    MIGRATION_CHECK = 3
+
+class EventLoop:
+    def __init__(self):
+        self.time_ns = 0
+        self.threads_by_id = {}
+    def schedule(self, kind, time_ns, node, seq, callback=None):
+        pass
+
+class Network:
+    def send(self, src, dst, payload):
+        pass
+"""
+
+
+def report_for(engine_src: str, extra: dict | None = None):
+    sources = {"kern": KERNEL, "engine": engine_src}
+    if extra:
+        sources.update(extra)
+    return analyze_sources(sources)
+
+
+def codes(report) -> list[str]:
+    return sorted(f.code for f in report.findings)
+
+
+# ---------------------------------------------------------------------------
+# the lattice and per-function classification
+# ---------------------------------------------------------------------------
+
+
+def test_lattice_order_and_join():
+    assert Effect.PURE < Effect.READS_SIM < Effect.WRITES_SIM < Effect.HOST
+    assert max(Effect.READS_SIM, Effect.WRITES_SIM) is Effect.WRITES_SIM
+    assert set(EFFECT_NAMES) == set(Effect)
+
+
+def test_function_classification():
+    rep = report_for(
+        """
+import time
+
+def pure_fn(x):
+    return x + 1
+
+def reads_fn(obj):
+    return obj.field
+
+def writes_fn(obj):
+    obj.field = 1
+
+def host_fn():
+    return time.time()
+
+def fresh_is_pure():
+    out = []
+    out.append(1)
+    return out
+"""
+    )
+    effects = {q.rsplit(".", 1)[-1]: s.effect() for q, s in rep.summaries.items()}
+    assert effects["pure_fn"] is Effect.PURE
+    assert effects["reads_fn"] is Effect.READS_SIM
+    assert effects["writes_fn"] is Effect.WRITES_SIM
+    assert effects["host_fn"] is Effect.HOST
+    assert effects["fresh_is_pure"] is Effect.PURE
+
+
+def test_effect_is_transitive_through_calls():
+    rep = report_for(
+        """
+def leaf(obj):
+    obj.field = 1
+
+def caller(obj):
+    leaf(obj)
+"""
+    )
+    assert rep.summaries["engine.caller"].effect() is Effect.WRITES_SIM
+
+
+# ---------------------------------------------------------------------------
+# EFF1xx: observer purity
+# ---------------------------------------------------------------------------
+
+BAD_OBSERVER = """
+import time
+
+class BadObserver:
+    def on_access(self, thread, heap):
+        heap.records[3].state = "dirty"
+
+class Engine:
+    def __init__(self):
+        self.sanitizer = BadObserver()
+    def step(self, thread, heap):
+        self.sanitizer.on_access(thread, heap)
+"""
+
+
+def test_eff102_observer_mutates_engine_state():
+    rep = report_for(BAD_OBSERVER)
+    assert codes(rep) == ["EFF102"]
+    (f,) = rep.findings
+    assert "BadObserver.on_access" in f.message
+    assert "engine.BadObserver.on_access" in rep.observer_roots
+
+
+def test_eff101_host_effect_in_observer():
+    rep = report_for(
+        """
+import time
+
+class SleepyObserver:
+    def on_access(self, thread, heap):
+        time.sleep(0.01)
+
+class Engine:
+    def __init__(self):
+        self.racedetector = SleepyObserver()
+    def step(self, thread, heap):
+        self.racedetector.on_access(thread, heap)
+"""
+    )
+    assert codes(rep) == ["EFF101"]
+
+
+def test_observer_self_writes_allowed():
+    rep = report_for(
+        """
+class GoodObserver:
+    def __init__(self):
+        self.events = []
+        self.count = 0
+    def on_access(self, thread, heap):
+        self.events.append(thread.thread_id)
+        self.count += 1
+
+class Engine:
+    def __init__(self):
+        self.tracer = GoodObserver()
+    def step(self, thread, heap):
+        self.tracer.on_access(thread, heap)
+"""
+    )
+    assert rep.findings == []
+
+
+def test_observer_purity_is_interprocedural():
+    """A write reached through a helper call is still charged to the
+    observer entry point."""
+    rep = report_for(
+        """
+class SneakyObserver:
+    def on_access(self, thread, heap):
+        self._helper(heap)
+    def _helper(self, heap):
+        heap.dirty = True
+
+class Engine:
+    def __init__(self):
+        self.sanitizer = SneakyObserver()
+    def step(self, thread, heap):
+        self.sanitizer.on_access(thread, heap)
+"""
+    )
+    assert codes(rep) == ["EFF102"]
+
+
+def test_self_ns_accounting_is_exempt():
+    """The sanctioned self-overhead meter (wall clock folded into
+    ``self.self_ns``) does not break observer purity."""
+    rep = report_for(
+        """
+import time
+
+class MeteredObserver:
+    def __init__(self):
+        self.self_ns = 0
+    def on_access(self, thread, heap):
+        t0 = time.perf_counter_ns()
+        self.self_ns += time.perf_counter_ns() - t0
+
+class Engine:
+    def __init__(self):
+        self.tracer = MeteredObserver()
+    def step(self, thread, heap):
+        self.tracer.on_access(thread, heap)
+"""
+    )
+    assert rep.findings == []
+
+
+def test_collector_lambda_is_observer_root():
+    rep = report_for(
+        """
+class Registry:
+    def register_collector(self, fn):
+        pass
+
+def bind(reg, engine):
+    reg.register_collector(lambda r: engine.counters.update({"x": 1}))
+"""
+    )
+    assert codes(rep) == ["EFF102"]
+    assert any("telemetry collector" in how for how in rep.observer_roots.values())
+
+
+# ---------------------------------------------------------------------------
+# EFF2xx: clock separation
+# ---------------------------------------------------------------------------
+
+
+def test_eff201_host_time_into_schedule():
+    rep = report_for(
+        """
+import time
+from kern import EventKind
+
+class Engine:
+    def __init__(self, kernel):
+        self.kernel = kernel
+    def step(self):
+        now = time.perf_counter_ns()
+        self.kernel.schedule(EventKind.MESSAGE_DELIVER, now, 0, 0)
+"""
+    )
+    assert codes(rep) == ["EFF201"]
+
+
+def test_eff202_host_time_into_clock_field():
+    rep = report_for(
+        """
+import time
+
+class Engine:
+    def __init__(self, kernel):
+        self.kernel = kernel
+    def sync(self):
+        self.kernel.now_ns = time.time_ns()
+"""
+    )
+    assert codes(rep) == ["EFF202"]
+
+
+def test_host_time_taint_crosses_calls():
+    """A helper *returning* host time taints its callers' uses."""
+    rep = report_for(
+        """
+import time
+from kern import EventKind
+
+def wallclock():
+    return time.perf_counter_ns()
+
+class Engine:
+    def __init__(self, kernel):
+        self.kernel = kernel
+    def step(self):
+        self.kernel.schedule(EventKind.MESSAGE_DELIVER, wallclock(), 0, 0)
+"""
+    )
+    assert "EFF201" in codes(rep)
+
+
+def test_simulated_time_is_clean():
+    rep = report_for(
+        """
+from kern import EventKind
+
+class Engine:
+    def __init__(self, kernel):
+        self.kernel = kernel
+    def step(self, delay_ns):
+        self.kernel.schedule(
+            EventKind.MESSAGE_DELIVER, self.kernel.time_ns + delay_ns, 0, 0
+        )
+"""
+    )
+    assert rep.findings == []
+
+
+# ---------------------------------------------------------------------------
+# EFF3xx: partition safety
+# ---------------------------------------------------------------------------
+
+WORKER_TMPL = """
+from kern import EventKind, Network
+
+class Engine:
+    def __init__(self, kernel, network):
+        self.kernel = kernel
+        self.network = network
+        self.threads_by_id = {{}}
+    def boot(self):
+        self.kernel.schedule(EventKind.{kind}, 10, 0, 0, callback=self._work)
+    def _work(self, event):
+{body}
+"""
+
+
+def test_eff301_cross_partition_write_in_worker():
+    rep = report_for(
+        WORKER_TMPL.format(
+            kind="MIGRATION_CHECK",
+            body='        self.threads_by_id[42].status = "poked"\n',
+        )
+    )
+    assert codes(rep) == ["EFF301"]
+    assert rep.worker_roots["engine.Engine._work"]["status"] == "violation"
+
+
+def test_network_send_mediates_cross_partition_write():
+    rep = report_for(
+        WORKER_TMPL.format(
+            kind="MIGRATION_CHECK",
+            body=(
+                '        self.threads_by_id[42].status = "poked"\n'
+                "        self.network.send(0, 1, event)\n"
+            ),
+        )
+    )
+    assert rep.findings == []
+    assert rep.worker_roots["engine.Engine._work"]["status"] == "certified"
+
+
+def test_actor_indexed_write_is_not_foreign():
+    rep = report_for(
+        WORKER_TMPL.format(
+            kind="MIGRATION_CHECK",
+            body='        self.threads_by_id[event.actor].status = "ran"\n',
+        )
+    )
+    assert rep.findings == []
+
+
+def test_barrier_release_callbacks_are_exempt():
+    rep = report_for(
+        WORKER_TMPL.format(
+            kind="BARRIER_RELEASE",
+            body='        self.threads_by_id[42].status = "released"\n',
+        )
+    )
+    assert rep.findings == []
+    assert rep.worker_roots["engine.Engine._work"]["status"] == "exempt"
+
+
+def test_eff302_host_effect_in_worker_closure():
+    rep = report_for(
+        WORKER_TMPL.format(
+            kind="MIGRATION_CHECK",
+            body="        import_side_effect()\n",
+        ).replace(
+            "from kern import EventKind, Network",
+            "import time\nfrom kern import EventKind, Network\n\n"
+            "def import_side_effect():\n    time.sleep(0.01)\n",
+        )
+    )
+    assert "EFF302" in codes(rep)
+
+
+# ---------------------------------------------------------------------------
+# suppression
+# ---------------------------------------------------------------------------
+
+
+def test_disable_comment_suppresses_but_documents():
+    src = BAD_OBSERVER.replace(
+        'heap.records[3].state = "dirty"',
+        'heap.records[3].state = "dirty"  # effects: disable=EFF102',
+    )
+    rep = report_for(src)
+    assert rep.findings == []
+    assert [f.code for f in rep.suppressed] == ["EFF102"]
+
+
+def test_disable_all_suppresses():
+    src = BAD_OBSERVER.replace(
+        'heap.records[3].state = "dirty"',
+        'heap.records[3].state = "dirty"  # effects: disable=all',
+    )
+    rep = report_for(src)
+    assert rep.findings == []
+
+
+def test_disable_other_code_does_not_suppress():
+    src = BAD_OBSERVER.replace(
+        'heap.records[3].state = "dirty"',
+        'heap.records[3].state = "dirty"  # effects: disable=EFF301',
+    )
+    rep = report_for(src)
+    assert codes(rep) == ["EFF102"]
+
+
+# ---------------------------------------------------------------------------
+# effects.json round trip
+# ---------------------------------------------------------------------------
+
+
+def test_summary_round_trip(tmp_path):
+    rep = report_for(
+        WORKER_TMPL.format(
+            kind="MIGRATION_CHECK",
+            body='        self.threads_by_id[42].status = "poked"\n',
+        )
+    )
+    doc = build_doc(rep)
+    assert doc["version"] == SCHEMA_VERSION
+    path = tmp_path / "effects.json"
+    path.write_text(json.dumps(doc))
+
+    summary = EffectsSummary.load(path)
+    assert summary is not None
+    assert summary.worker_status("engine.Engine._work") == "violation"
+    assert summary.violations() == ["engine.Engine._work"]
+    assert summary.function_effect("engine.Engine._work") == "writes-sim-state"
+
+
+def test_summary_load_missing_and_bad(tmp_path):
+    assert EffectsSummary.load(tmp_path / "nope.json") is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert EffectsSummary.load(bad) is None
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"version": SCHEMA_VERSION + 999}))
+    assert EffectsSummary.load(wrong) is None
+
+
+# ---------------------------------------------------------------------------
+# the repo certifies itself
+# ---------------------------------------------------------------------------
+
+
+def test_repo_tree_has_no_unsuppressed_violations():
+    rep = analyze_package("src")
+    rendered = "\n".join(f.render() for f in rep.findings)
+    assert rep.findings == [], f"unsuppressed effect violations:\n{rendered}"
+    # the discovery layers actually found the repo's hooks
+    assert len(rep.observer_roots) >= 10
+    assert any("sanitizer" in how for how in rep.observer_roots.values())
+    assert rep.worker_roots, "no worker-dispatched callables discovered"
+    assert all(
+        entry["status"] in ("certified", "exempt")
+        for entry in rep.worker_roots.values()
+    )
+
+
+def test_committed_summary_matches_tree():
+    """The committed effects.json must certify the current source (the
+    ``--write`` flow keeps it fresh; CI runs the gate)."""
+    summary = EffectsSummary.load()
+    assert summary is not None, "effects.json missing — run `python -m repro.checks effects --write`"
+    assert summary.violations() == []
+    assert summary.worker_roots
+
+
+# ---------------------------------------------------------------------------
+# PartitionedEventLoop worker certification
+# ---------------------------------------------------------------------------
+
+
+def _partitioner():
+    from repro.sim.partition import NodeGroupPartitioner
+
+    return NodeGroupPartitioner(4, 2, node_of_thread=lambda tid: 0)
+
+
+def _violating_summary(qualname="tests.fake.Cb.run"):
+    return EffectsSummary(
+        {
+            "version": SCHEMA_VERSION,
+            "worker": {"roots": {qualname: {"status": "violation", "line": 1}}},
+        }
+    )
+
+
+def test_partition_rejects_violating_summary_at_construction():
+    from repro.sim.partition import PartitionedEventLoop, WorkerEffectsError
+
+    with pytest.raises(WorkerEffectsError, match="tests.fake.Cb.run"):
+        PartitionedEventLoop(_partitioner(), validate_effects=_violating_summary())
+
+
+def test_partition_opt_out_skips_validation():
+    from repro.sim.partition import PartitionedEventLoop
+
+    loop = PartitionedEventLoop(_partitioner(), validate_effects=False)
+    assert loop._effects is None
+
+
+def test_partition_without_summary_degrades_gracefully(monkeypatch):
+    from repro.checks.effects import summary as summary_mod
+    from repro.sim.partition import PartitionedEventLoop
+
+    monkeypatch.setattr(summary_mod.EffectsSummary, "load", classmethod(lambda cls, path=None: None))
+    loop = PartitionedEventLoop(_partitioner())
+    assert loop._effects is None
+
+
+def test_partition_schedule_refuses_violating_callback():
+    from repro.sim.events import EventKind
+    from repro.sim.partition import PartitionedEventLoop, WorkerEffectsError
+
+    class Cb:
+        def run(self, event):
+            pass
+
+    qual = f"{Cb.__module__}.{Cb.run.__qualname__}"
+    loop = PartitionedEventLoop(_partitioner(), validate_effects=False)
+    loop._effects = _violating_summary(qual)
+    with pytest.raises(WorkerEffectsError):
+        loop.schedule(EventKind.MESSAGE_DELIVER, 10, 0, callback=Cb().run)
+    # unknown callables stay allowed
+    loop.schedule(EventKind.MESSAGE_DELIVER, 20, 0, callback=lambda e: None)
+
+
+def test_partition_runs_clean_against_committed_summary():
+    """The real kernel constructs with the committed effects.json and
+    dispatches the repo's own callbacks without tripping the check."""
+    from repro.runtime.djvm import DJVM
+    from repro.workloads.sor import SORWorkload
+
+    vm = DJVM(4, kernel="partitioned", partitions=2)
+    assert vm.validate_effects is True
+    workload = SORWorkload(n=32, rounds=1, n_threads=4, seed=3)
+    workload.build(vm)
+    vm.run(workload.programs())

@@ -565,6 +565,121 @@ def test_sim012_lock_scope_is_per_block():
 
 
 # ---------------------------------------------------------------------------
+# SIM013: silent exception swallows in the engine
+# ---------------------------------------------------------------------------
+
+#: a path inside the SIM013 engine scope.
+ENGINE = "src/repro/runtime/somefile.py"
+HEAP = "src/repro/heap/somefile.py"
+
+
+def test_sim013_positive_except_exception_pass():
+    src = "def f():\n    try:\n        g()\n    except Exception:\n        pass\n"
+    assert codes(src, ENGINE) == ["SIM013"]
+    assert codes(src, HEAP) == ["SIM013"]
+
+
+def test_sim013_positive_bare_except():
+    src = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+    assert codes(src, ENGINE) == ["SIM013"]
+
+
+def test_sim013_positive_ellipsis_body():
+    src = "def f():\n    try:\n        g()\n    except BaseException:\n        ...\n"
+    assert codes(src, ENGINE) == ["SIM013"]
+
+
+def test_sim013_negative_narrow_type():
+    src = "def f():\n    try:\n        g()\n    except KeyError:\n        pass\n"
+    assert codes(src, ENGINE) == []
+
+
+def test_sim013_negative_handled():
+    src = (
+        "def f(log):\n    try:\n        g()\n"
+        "    except Exception as exc:\n        log.append(exc)\n"
+    )
+    assert codes(src, ENGINE) == []
+
+
+def test_sim013_negative_outside_engine_scope():
+    src = "def f():\n    try:\n        g()\n    except Exception:\n        pass\n"
+    assert codes(src, OUTSIDE) == []
+    assert codes(src, TESTISH) == []
+
+
+def test_sim013_disabled():
+    src = (
+        "def f():\n    try:\n        g()\n"
+        "    except Exception:  # simlint: disable=SIM013\n        pass\n"
+    )
+    assert codes(src, ENGINE) == []
+
+
+# ---------------------------------------------------------------------------
+# semantic SIM009/SIM010 feeds from effects.json
+# ---------------------------------------------------------------------------
+
+
+def _summary(doc):
+    from repro.checks.effects.summary import EffectsSummary
+
+    return EffectsSummary(doc)
+
+
+def test_semantic_sim009_feed(tmp_path):
+    from repro.checks.simlint import semantic_findings
+
+    target = tmp_path / "engine.py"
+    target.write_text("def f(obj):\n    helper(obj)\n")
+    summary = _summary(
+        {"version": 1, "counter_writes": {"engine.py": [[2, "mod.helper"]]}}
+    )
+    findings = semantic_findings(summary, [target])
+    assert [f.code for f in findings] == ["SIM009"]
+    assert findings[0].line == 2 and "mod.helper" in findings[0].message
+
+
+def test_semantic_sim010_feed(tmp_path):
+    from repro.checks.simlint import semantic_findings
+
+    target = tmp_path / "engine.py"
+    target.write_text("def f():\n    pass\n")
+    summary = _summary(
+        {"version": 1, "host_in_worker": {"engine.py": [[1, "mod.f", "wallclock"]]}}
+    )
+    findings = semantic_findings(summary, [target])
+    assert [f.code for f in findings] == ["SIM010"]
+    assert "wallclock" in findings[0].message
+
+
+def test_semantic_feed_honors_disable_comment(tmp_path):
+    from repro.checks.simlint import semantic_findings
+
+    target = tmp_path / "engine.py"
+    target.write_text("def f(obj):\n    helper(obj)  # simlint: disable=SIM009\n")
+    summary = _summary(
+        {"version": 1, "counter_writes": {"engine.py": [[2, "mod.helper"]]}}
+    )
+    assert semantic_findings(summary, [target]) == []
+
+
+def test_semantic_feed_dedupes_against_syntactic(tmp_path):
+    """A line the syntactic pass already flags is not double-reported."""
+    from repro.checks.simlint import check_paths as cp
+
+    sub = tmp_path / "src" / "repro" / "dsm"
+    sub.mkdir(parents=True)
+    target = sub / "engine.py"
+    target.write_text("def f(obj):\n    obj.counters[0] += 1\n")
+    summary = _summary(
+        {"version": 1, "counter_writes": {"repro/dsm/engine.py": [[2, "mod.f"]]}}
+    )
+    findings = cp([target], effects_summary=summary)
+    assert [f.code for f in findings] == ["SIM009"]
+
+
+# ---------------------------------------------------------------------------
 # engine behaviour
 # ---------------------------------------------------------------------------
 
@@ -592,7 +707,12 @@ def test_syntax_error_reported_not_raised():
 
 
 def test_every_rule_has_catalog_entry():
-    assert set(RULES) == {f"SIM00{i}" for i in range(1, 10)} | {"SIM010", "SIM011", "SIM012"}
+    assert set(RULES) == {f"SIM00{i}" for i in range(1, 10)} | {
+        "SIM010",
+        "SIM011",
+        "SIM012",
+        "SIM013",
+    }
 
 
 def test_repo_tree_is_clean():

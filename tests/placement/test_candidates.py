@@ -1,0 +1,157 @@
+"""Static placement candidates (:mod:`repro.placement.candidates`):
+feed shapes, ranking order, and the no-sharing edge case."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.placement.candidates import PlacementCandidate, candidates_from_static
+
+
+def _obj(site: str, home_node: int, size_bytes: int) -> SimpleNamespace:
+    return SimpleNamespace(site=site, home_node=home_node, size_bytes=size_bytes)
+
+
+def _share(classification: str, writers) -> SimpleNamespace:
+    return SimpleNamespace(classification=classification, writers=set(writers))
+
+
+def _report(objects, sharing, node_of_thread):
+    """Assemble the StaticReport shape candidates_from_static reads."""
+    return SimpleNamespace(
+        ir=SimpleNamespace(objects=objects, node_of_thread=node_of_thread),
+        sharing=SimpleNamespace(objects=sharing),
+    )
+
+
+def test_no_sharing_analysis_yields_no_candidates():
+    report = SimpleNamespace(sharing=None)
+    assert candidates_from_static(report) == []
+
+
+def test_single_writer_off_home_becomes_home_migration():
+    # obj 1: thread 2 (node 1) is the only writer, but homed on node 0.
+    report = _report(
+        objects={1: _obj("alloc@A", home_node=0, size_bytes=256)},
+        sharing={1: _share("single-writer", writers=[2])},
+        node_of_thread={2: 1},
+    )
+    (cand,) = candidates_from_static(report)
+    assert cand.kind == "home-migration"
+    assert cand.site == "alloc@A"
+    assert cand.obj_ids == (1,)
+    assert cand.threads == (2,)
+    assert cand.target_node == 1
+    assert cand.weight == 256
+    assert "node 1" in cand.render()
+
+
+def test_single_writer_already_home_is_not_a_candidate():
+    report = _report(
+        objects={1: _obj("alloc@A", home_node=1, size_bytes=256)},
+        sharing={1: _share("single-writer", writers=[2])},
+        node_of_thread={2: 1},
+    )
+    assert candidates_from_static(report) == []
+
+
+def test_ping_pong_site_becomes_colocate_threads():
+    report = _report(
+        objects={
+            1: _obj("alloc@B", home_node=0, size_bytes=100),
+            2: _obj("alloc@B", home_node=1, size_bytes=50),
+        },
+        sharing={
+            1: _share("ping-pong", writers=[0, 3]),
+            2: _share("ping-pong", writers=[3, 5]),
+        },
+        node_of_thread={0: 0, 3: 1, 5: 2},
+    )
+    (cand,) = candidates_from_static(report)
+    assert cand.kind == "colocate-threads"
+    assert cand.obj_ids == (1, 2)
+    # union of writers across the site's objects, sorted
+    assert cand.threads == (0, 3, 5)
+    assert cand.target_node is None
+    assert cand.weight == 150
+
+
+def test_mishomed_objects_aggregate_per_site_and_writer_node():
+    """Two mis-homed objects from one site with writers on the same node
+    merge into a single candidate; a third with a writer elsewhere
+    stays separate."""
+    report = _report(
+        objects={
+            1: _obj("alloc@A", home_node=0, size_bytes=10),
+            2: _obj("alloc@A", home_node=2, size_bytes=20),
+            3: _obj("alloc@A", home_node=0, size_bytes=40),
+        },
+        sharing={
+            1: _share("single-writer", writers=[4]),
+            2: _share("single-writer", writers=[4]),
+            3: _share("single-writer", writers=[7]),
+        },
+        node_of_thread={4: 1, 7: 3},
+    )
+    cands = candidates_from_static(report)
+    assert [(c.target_node, c.obj_ids, c.weight) for c in cands] == [
+        (3, (3,), 40),
+        (1, (1, 2), 30),
+    ]
+
+
+def test_ranking_by_weight_then_site_then_kind():
+    report = _report(
+        objects={
+            1: _obj("site_z", home_node=0, size_bytes=500),
+            2: _obj("site_a", home_node=0, size_bytes=100),
+            3: _obj("site_m", home_node=1, size_bytes=100),
+        },
+        sharing={
+            1: _share("single-writer", writers=[2]),
+            2: _share("ping-pong", writers=[0, 1]),
+            3: _share("single-writer", writers=[5]),
+        },
+        node_of_thread={0: 0, 1: 1, 2: 1, 5: 0},
+    )
+    cands = candidates_from_static(report)
+    # descending weight; 100-weight tie broken by site name
+    assert [(c.weight, c.site) for c in cands] == [
+        (500, "site_z"),
+        (100, "site_a"),
+        (100, "site_m"),
+    ]
+
+
+def test_other_classifications_are_ignored():
+    report = _report(
+        objects={
+            1: _obj("alloc@A", home_node=0, size_bytes=64),
+            2: _obj("alloc@A", home_node=0, size_bytes=64),
+        },
+        sharing={
+            1: _share("node-private", writers=[0]),
+            2: _share("read-mostly", writers=[1]),
+        },
+        node_of_thread={0: 1, 1: 1},
+    )
+    assert candidates_from_static(report) == []
+
+
+def test_candidate_is_hashable_and_frozen():
+    cand = PlacementCandidate(
+        kind="home-migration",
+        site="s",
+        obj_ids=(1,),
+        threads=(0,),
+        target_node=1,
+        weight=10,
+        reason="r",
+    )
+    assert hash(cand) is not None
+    try:
+        cand.weight = 11
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("PlacementCandidate must be frozen")
