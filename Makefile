@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint sanitize race static effects obs pdes frontier check bench bench-paper perf examples demo clean
+.PHONY: install test lint sanitize race static effects obs objprof pdes frontier check bench bench-paper perf examples demo clean
 
 install:
 	pip install -e .
@@ -48,10 +48,17 @@ effects:
 obs:
 	PYTHONPATH=src python -m repro.obs gate
 
+# Object-centric inefficiency profiler gate: SOR / Barnes-Hut /
+# Water-Spatial report smoke, byte-identity of the run with the
+# profiler on vs off, deterministic report ordering, and >= 3 distinct
+# patterns with file:line attribution on Water-Spatial.
+objprof:
+	PYTHONPATH=src python -m repro.obs objprof
+
 # The pre-merge gate: lint, tier-1 tests, sanitizer-enabled workloads,
 # the happens-before race gate, the static-analysis soundness gate,
 # the interprocedural effect/purity gate,
-# the telemetry gate, plus the perf
+# the telemetry and object-profiler gates, plus the perf
 # regression guard (wall-time within tolerance of BENCH_perf.json,
 # determinism checksums unchanged).  Does not rewrite the committed
 # baseline — use `make perf` for that.
@@ -62,6 +69,7 @@ check: lint
 	PYTHONPATH=src python -m repro.checks static
 	PYTHONPATH=src python -m repro.checks effects
 	PYTHONPATH=src python -m repro.obs gate
+	PYTHONPATH=src python -m repro.obs objprof
 	$(MAKE) pdes
 	PYTHONPATH=src python benchmarks/perf_harness.py --repeats 3 --scale smoke --frontier smoke --output /tmp/BENCH_perf.check.json
 	PYTHONPATH=src python benchmarks/check_regression.py BENCH_perf.json /tmp/BENCH_perf.check.json

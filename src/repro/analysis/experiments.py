@@ -53,9 +53,10 @@ def build_djvm(
     costs: CostModel | None = None,
     placement: str = "block",
     telemetry=None,
+    objprof: bool = False,
 ) -> DJVM:
     """Boot a DJVM and build the workload on it."""
-    djvm = DJVM(n_nodes=n_nodes, costs=costs, telemetry=telemetry)
+    djvm = DJVM(n_nodes=n_nodes, costs=costs, telemetry=telemetry, objprof=objprof)
     workload.build(djvm, placement=placement)
     return djvm
 
@@ -84,11 +85,13 @@ def run_with_correlation(
     costs: CostModel | None = None,
     telemetry=None,
     sampling_backend=None,
+    objprof: bool = False,
 ) -> ProfiledRun:
     """Run with correlation tracking at one sampling rate (optionally
-    under a non-default sampling backend)."""
+    under a non-default sampling backend, optionally with the
+    object-centric inefficiency profiler attached)."""
     workload = workload_factory()
-    djvm = build_djvm(workload, n_nodes, costs=costs, telemetry=telemetry)
+    djvm = build_djvm(workload, n_nodes, costs=costs, telemetry=telemetry, objprof=objprof)
     suite = ProfilerSuite(
         djvm,
         correlation=True,

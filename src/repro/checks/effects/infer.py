@@ -71,11 +71,13 @@ class EffectsConfig:
     """Tunable vocabulary of the three rule families."""
 
     #: nullable observer slots on the engine (EFF1xx roots).
-    observer_slots: frozenset = frozenset({"sanitizer", "racedetector", "tracer"})
+    observer_slots: frozenset = frozenset(
+        {"sanitizer", "racedetector", "tracer", "objprof"}
+    )
     #: observer classes by simple name (union with classes discovered
     #: through slot assignments).
     observer_class_hints: frozenset = frozenset(
-        {"ProtocolSanitizer", "RaceDetector", "SpanTracer"}
+        {"ProtocolSanitizer", "RaceDetector", "SpanTracer", "ObjectProfiler"}
     )
     #: classes (simple names) whose state observers own: writes into
     #: them never violate EFF102.
@@ -83,6 +85,7 @@ class EffectsConfig:
         {
             "ProtocolSanitizer", "RaceDetector", "SpanTracer", "Span",
             "MetricsRegistry", "MetricFamily", "Counter", "Gauge", "Histogram",
+            "ObjectProfiler", "ObjLifetime",
         }
     )
     #: attributes observers may publish onto engine objects

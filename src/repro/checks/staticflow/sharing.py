@@ -21,7 +21,7 @@ ping-pong           two or more writers (alternating invalidations —
 
 Outputs feed three consumers: the predicted TCM (same shared-bytes
 structure the dynamic correlation profiler estimates — comparable via
-``repro.obs report``), per-class sampling-rate pre-seeds
+``repro.obs compare``), per-class sampling-rate pre-seeds
 (:meth:`repro.core.sampling.SamplingPolicy.preseed`, off by default),
 and the placement candidate feed (:mod:`repro.placement.candidates`).
 """

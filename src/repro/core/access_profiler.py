@@ -96,6 +96,10 @@ class AccessProfiler:
         #: opt-in span tracer (repro.obs): pure observer emitting one
         #: ``oal_flush`` span per shipped batch.
         self.tracer = None
+        #: opt-in object-centric profiler (repro.obs.objprof): pure
+        #: observer fed each closed interval's OAL entries, whose
+        #: ``scaled_bytes`` carry the backend's Horvitz–Thompson weights.
+        self.objprof = None
 
     # ------------------------------------------------------------------
     # rate changes
@@ -324,5 +328,7 @@ class AccessProfiler:
             self.tracer.oal_flush(
                 thread, len(batch), batch.wire_bytes, flush_begin_ns, thread.clock.now_ns
             )
+        if self.objprof is not None:
+            self.objprof.on_oal_batch(thread.node_id, batch.entries)
         if self.collector is not None:
             self.collector.deliver(batch, now_ns=thread.clock.now_ns)

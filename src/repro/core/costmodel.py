@@ -27,6 +27,17 @@ from repro.sim.network import Network
 FALLBACK_OBJ_BYTES = 256
 
 
+def object_fault_ns(costs: CostModel, network: Network, size_bytes: int) -> int:
+    """Simulated cost of one remote object fault: GOS trap plus the
+    fetch round trip (16-byte request, object + 16-byte reply header).
+
+    Shared by the migration cost model's indirect-fault pricing and the
+    object-centric inefficiency report's pattern scoring, so both layers
+    agree on what one avoidable fault is worth.
+    """
+    return costs.gos_trap_ns + network.round_trip_ns(16, int(size_bytes) + 16)
+
+
 @dataclass
 class MigrationCostEstimate:
     """Priced migration alternatives, nanoseconds."""
@@ -98,8 +109,7 @@ class MigrationCostModel:
                 size = FALLBACK_OBJ_BYTES
             count = max(1, int(round(b / size)))
             n_objects += count
-            per_fault = costs.gos_trap_ns + self.network.round_trip_ns(16, int(size) + 16)
-            fault_ns += count * per_fault
+            fault_ns += count * object_fault_ns(costs, self.network, size)
         prefetch = self.network.transfer_time_ns(sticky_bytes + 16 * n_objects) if sticky_bytes else 0
         return MigrationCostEstimate(
             direct_ns=direct,

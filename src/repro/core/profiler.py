@@ -85,6 +85,10 @@ class ProfilerSuite:
             )
             if sanitizer is not None:
                 self.access_profiler.sanitizer = sanitizer
+            objprof = getattr(djvm, "objprof", None)
+            if objprof is not None:
+                # HT-weighted OAL feed for the object-centric report.
+                self.access_profiler.objprof = objprof
             djvm.add_hook(self.access_profiler)
         if footprint:
             self.footprinter = StickySetFootprinter(

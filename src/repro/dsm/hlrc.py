@@ -75,6 +75,17 @@ _HOME = RealState.HOME
 _VALID = RealState.VALID
 _INVALID = RealState.INVALID
 
+#: nullable observer slots on the engine, in attach order.  Every slot
+#: shares one contract: the observer only *reads* simulated state and
+#: writes its own — it never advances a simulated clock, charges CPU or
+#: sends a message — so results are byte-identical with it attached
+#: (certified by the EFF1xx purity gate; see repro.checks.effects).
+#: sanitizer: protocol invariant checker (repro.checks.sanitizer).
+#: racedetector: happens-before race detector (repro.checks.racedetect).
+#: tracer: span tracer (repro.obs.tracing).
+#: objprof: object-centric inefficiency profiler (repro.obs.objprof).
+OBSERVER_SLOTS = ("sanitizer", "racedetector", "tracer", "objprof")
+
 #: request/reply/control message payload sizes (bytes).
 FETCH_REQ_BYTES = 16
 FETCH_REPLY_OVERHEAD = 16
@@ -129,24 +140,14 @@ class HomeBasedLRC:
         # (stateless sampling backends), else None.  Resolved together
         # with ``_fast_log`` so both caches always describe ``_fast_src``.
         self._fast_prime = None
-        #: opt-in protocol invariant checker (repro.checks.sanitizer),
-        #: wired by ``DJVM(sanitize=True)``.  Sanitizer callbacks observe
-        #: only — they never advance simulated clocks — so results are
-        #: byte-identical with the sanitizer on.
-        self.sanitizer = None
-        #: opt-in happens-before race detector (repro.checks.racedetect),
-        #: wired by ``DJVM(racecheck=...)``.  Same contract as the
-        #: sanitizer slot: observes only, never advances simulated
-        #: clocks, so results are byte-identical with the detector on.
-        self.racedetector = None
+        # Nullable observer slots (see OBSERVER_SLOTS): all None until
+        # attach_observer wires one; hot paths check with `is not None`.
+        for slot in OBSERVER_SLOTS:
+            setattr(self, slot, None)
         #: optional connectivity prefetcher consulted at fault time
         #: (anything with ``bundle_for(thread, obj) -> list[HeapObject]``).
+        #: NOT an observer slot — prefetching changes protocol behaviour.
         self.prefetcher = None
-        #: opt-in span tracer (repro.obs.tracing), wired by
-        #: ``DJVM(telemetry="trace")``.  Same contract as the sanitizer
-        #: slot: observes only, never advances simulated clocks, so
-        #: results are byte-identical with tracing on.
-        self.tracer = None
         self.keep_interval_history = keep_interval_history
         #: thread_id -> list of closed IntervalRecords (only when history kept).
         self.interval_history: dict[int, list[IntervalRecord]] = {}
@@ -186,6 +187,35 @@ class HomeBasedLRC:
         }
 
     # ------------------------------------------------------------------
+    # observer slots
+    # ------------------------------------------------------------------
+
+    def attach_observer(self, slot: str, observer) -> None:
+        """Wire a pure observer into one of :data:`OBSERVER_SLOTS`.
+
+        One attach point instead of per-slot assignment boilerplate; the
+        slots stay plain attributes, so the hot paths' single
+        ``is not None`` check (and the access path's single-hook fast
+        dispatch) are untouched.  Attaching over an occupied slot is a
+        wiring bug and is rejected."""
+        if slot not in OBSERVER_SLOTS:
+            raise ValueError(f"unknown observer slot {slot!r}; expected one of {OBSERVER_SLOTS}")
+        if observer is None:
+            raise ValueError(f"cannot attach None to observer slot {slot!r}; use detach_observer")
+        if getattr(self, slot) is not None:
+            raise ValueError(f"observer slot {slot!r} is already attached")
+        setattr(self, slot, observer)
+
+    def detach_observer(self, slot: str):
+        """Clear one observer slot; returns the detached observer (or
+        None when the slot was empty)."""
+        if slot not in OBSERVER_SLOTS:
+            raise ValueError(f"unknown observer slot {slot!r}; expected one of {OBSERVER_SLOTS}")
+        observer = getattr(self, slot)
+        setattr(self, slot, None)
+        return observer
+
+    # ------------------------------------------------------------------
     # copies & faults
     # ------------------------------------------------------------------
 
@@ -214,6 +244,7 @@ class HomeBasedLRC:
         costs = self.costs
         clock = thread.clock
         cpu = thread.cpu
+        refault = record is not None  # an invalidated copy is being replaced
         fault_begin_ns = clock._now_ns
         cpu.protocol_ns += costs.gos_trap_ns
         clock._now_ns += costs.gos_trap_ns
@@ -267,6 +298,8 @@ class HomeBasedLRC:
         self._c_faults.inc()
         if self.tracer is not None:
             self.tracer.fault(thread, obj.obj_id, fault_begin_ns, clock._now_ns, 1 + len(bundle))
+        if self.objprof is not None:
+            self.objprof.on_fault(thread, obj, refault)
         return record
 
     # ------------------------------------------------------------------
@@ -437,6 +470,7 @@ class HomeBasedLRC:
         sanitizer = self.sanitizer
         racedetector = self.racedetector
         tracer = self.tracer
+        objprof = self.objprof
         # Flush diffs for cache copies this thread wrote.  Sorted: the
         # written set is hash-ordered, and diff/notice publication order
         # feeds network sends and the global notice log — iteration
@@ -482,6 +516,8 @@ class HomeBasedLRC:
             n_notices += 1
             if tracer is not None:
                 tracer.diff(thread, obj_id, dirty, diff_begin_ns, clock._now_ns)
+            if objprof is not None:
+                objprof.on_diff(thread, obj_id, dirty)
             if sanitizer is not None:
                 sanitizer.on_notice(obj_id, obj.home_version)
             if racedetector is not None:
@@ -500,6 +536,8 @@ class HomeBasedLRC:
             hook.on_interval_close(thread, interval, sync_dst)
         if sanitizer is not None:
             sanitizer.on_interval_close(thread, interval)
+        if objprof is not None:
+            objprof.on_interval_close(thread, interval)
         # The interval *span* closes after the hooks so close-time work
         # (e.g. the profiler's OAL flush) nests inside it; the interval
         # *record*'s end_ns above stays the protocol-close instant.
@@ -531,6 +569,8 @@ class HomeBasedLRC:
         self._notice_seen[node_id] = end
         copies = self._copies_by_node[node_id]
         invalidated = 0
+        objprof = self.objprof
+        inv_ids: list[int] | None = [] if objprof is not None else None
         if len(copies) < n_new:
             # Few copies, many notices: invert the scan.  Notices are
             # append-ordered, so dict() keeps each object's newest
@@ -552,6 +592,8 @@ class HomeBasedLRC:
                     if version is not None and record.fetched_version < version:
                         record.real_state = _INVALID
                         invalidated += 1
+                        if inv_ids is not None:
+                            inv_ids.append(obj_id)
         else:
             for obj_id, version in self.notices[start:end]:
                 record: CopyRecord | None = copies.get(obj_id)
@@ -560,11 +602,15 @@ class HomeBasedLRC:
                 if record.real_state is _VALID and record.fetched_version < version:
                     record.real_state = _INVALID
                     invalidated += 1
+                    if inv_ids is not None:
+                        inv_ids.append(obj_id)
         if invalidated:
             ns = invalidated * self.costs.invalidate_ns
             thread.cpu.protocol_ns += ns
             thread.clock._now_ns += ns
             self._c_invalidations.inc(invalidated)
+            if inv_ids:
+                objprof.on_invalidations(node_id, inv_ids)
         return n_new
 
     def pending_notices(self, node_id: int) -> int:
@@ -713,4 +759,7 @@ class HomeBasedLRC:
             # Barrier edge: join every participant's clock; per-waiter
             # diff-propagation joins already ran via apply_notices above.
             self.racedetector.on_barrier_release(threads_by_id, barrier_id, waiters, release_ns)
+        if self.objprof is not None:
+            # Lifetime phase boundary for the object-centric profiler.
+            self.objprof.on_barrier_release(release_ns)
         return release_ns

@@ -10,10 +10,32 @@ on those copies lives in :mod:`repro.dsm.states`.
 
 from __future__ import annotations
 
+import sys
 from typing import Iterable, Iterator
 
 from repro.heap.jclass import ClassRegistry, JClass
 from repro.heap.objects import HeapObject
+
+#: allocation frames skipped when resolving a site label's origin: the
+#: GOS itself and the DJVM facade that forwards to it.
+_ALLOC_WRAPPERS = ("repro/heap/heap.py", "repro/runtime/djvm.py")
+
+
+def _caller_origin() -> str:
+    """``file:line`` of the workload frame that requested an allocation.
+
+    Walks past the allocation wrappers and renders the path from the
+    package root down (host-prefix-free, so origins are stable across
+    checkouts).  Host-side introspection only — never touches simulated
+    state."""
+    frame = sys._getframe(2)  # skip _caller_origin and allocate itself
+    while frame is not None:
+        filename = frame.f_code.co_filename.replace("\\", "/")
+        if not filename.endswith(_ALLOC_WRAPPERS):
+            short = filename.rsplit("/src/", 1)[-1]
+            return f"{short}:{frame.f_lineno}"
+        frame = frame.f_back
+    return ""
 
 
 class GlobalObjectSpace:
@@ -23,6 +45,9 @@ class GlobalObjectSpace:
         self.registry = registry if registry is not None else ClassRegistry()
         self._objects: list[HeapObject] = []
         self._by_class: dict[int, list[int]] = {}
+        #: site label -> ``file:line`` of the first allocation carrying
+        #: it (the object-centric report's source attribution).
+        self.site_origins: dict[str, str] = {}
 
     def allocate(
         self,
@@ -42,6 +67,10 @@ class GlobalObjectSpace:
         """
         if isinstance(jclass, str):
             jclass = self.registry.get(jclass)
+        if site is not None and site not in self.site_origins:
+            # Capture once per distinct label — cheap, and every later
+            # allocation at the label shares the first caller's line.
+            self.site_origins[site] = _caller_origin()
         if jclass.is_array:
             if length < 1:
                 raise ValueError(f"array of class {jclass.name} needs length >= 1, got {length}")

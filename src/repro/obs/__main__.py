@@ -10,18 +10,30 @@ Subcommands:
   plus, optionally, the Prometheus text and the snapshot JSON.
 * ``diff A.json B.json`` — compare two snapshot JSON files; any metric
   drift between identically-configured runs is a silent behavior
-  change, so drift exits non-zero.
+  change, so drift exits 1 (a missing/unreadable snapshot exits 2).
 * ``gate [--max-overhead 0.15] [--repeats 3]`` — the ``make obs`` gate:
   runs bench-scale SOR base vs telemetry-on, asserts byte-identity of
   the simulated results, schema-validates the exported Chrome trace,
   and asserts the telemetry wall overhead (self-overhead accounting)
   stays under the budget.
-* ``report [--workload W] [--nodes N] [--rate R]`` — run the dynamic
+* ``report [--workload W] [--nodes N] [--rate R] [--top K] [--json]`` —
+  the object-centric inefficiency report: run with the
+  :mod:`repro.obs.objprof` observer attached, fold the
+  fault/diff/invalidation/OAL stream into per-allocation-site lifetime
+  profiles, and print the pattern findings (ping-pong, dead-transfer,
+  over-invalidated, contended-home) ranked by estimated wasted
+  simulated time.  ``--json`` emits the machine feed
+  :func:`repro.placement.candidates.candidates_from_objprof` consumes.
+* ``compare [--workload W] [--nodes N] [--rate R]`` — run the dynamic
   correlation profiler AND the static sharing analysis
   (:mod:`repro.checks.staticflow`) on the same workload/placement, then
   print the static-vs-dynamic comparison: normalized-TCM structure
   accuracy, nonzero-support precision/recall, the per-site sharing
   table, the static may-race set size and the placement candidates.
+* ``objprof`` — the ``make objprof`` gate: for SOR, Barnes-Hut and
+  Water-Spatial, asserts profiler-on/off byte-identity, report-twice
+  determinism, and (Water-Spatial) that at least three distinct
+  patterns rank with file:line site attribution.
 """
 
 from __future__ import annotations
@@ -57,6 +69,7 @@ def _run(
     rate: float | str,
     telemetry: str = "full",
     backend: str | None = None,
+    objprof: bool = False,
 ):
     factory = WORKLOADS[workload]
     return E.run_with_correlation(
@@ -66,6 +79,7 @@ def _run(
         send_oals=True,
         telemetry=telemetry,
         sampling_backend=backend,
+        objprof=objprof,
     )
 
 
@@ -111,9 +125,32 @@ def diff_snapshots(a: dict, b: dict) -> list[str]:
     return lines
 
 
+class SnapshotError(Exception):
+    """A snapshot file could not be read or parsed."""
+
+
+def load_snapshot(path: str) -> dict:
+    """Read one snapshot JSON file; :class:`SnapshotError` with a
+    human-readable message on a missing/unreadable/invalid file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot {path}: {exc.strerror or exc}"
+        ) from exc
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        raise SnapshotError(f"snapshot {path} is not valid JSON: {exc}") from exc
+
+
 def cmd_diff(args) -> int:
-    a = json.loads(Path(args.a).read_text())
-    b = json.loads(Path(args.b).read_text())
+    try:
+        a = load_snapshot(args.a)
+        b = load_snapshot(args.b)
+    except SnapshotError as exc:
+        print(f"telemetry diff: {exc}", file=sys.stderr)
+        return 2
     drift = diff_snapshots(a, b)
     for line in drift:
         print(line)
@@ -229,7 +266,39 @@ def static_vs_dynamic(workload: str, nodes: int, rate: float | str) -> dict:
     }
 
 
+def build_objprof_report(
+    workload: str, nodes: int, rate: float | str, backend: str | None = None
+):
+    """Run one workload with the object-centric profiler attached and
+    build its ranked report (telemetry stays off: the objprof observer
+    needs no metrics registry, and the report must not depend on one)."""
+    from repro.obs.report import build_report
+
+    run = _run(workload, nodes, rate, telemetry=None, backend=backend, objprof=True)
+    djvm = run.djvm
+    return run, build_report(
+        djvm.objprof,
+        djvm.gos,
+        djvm.costs,
+        djvm.cluster.network,
+        workload=workload,
+        n_nodes=nodes,
+        backend=run.suite.policy.backend.name,
+    )
+
+
 def cmd_report(args) -> int:
+    _run_record, report = build_objprof_report(
+        args.workload, args.nodes, args.rate, backend=args.backend
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1))
+    else:
+        print(report.render(top=args.top))
+    return 0
+
+
+def cmd_compare(args) -> int:
     cmp = static_vs_dynamic(args.workload, args.nodes, args.rate)
     static = cmp["static"]
     print(f"# static vs dynamic: {args.workload} on {args.nodes} nodes, rate {args.rate}")
@@ -258,6 +327,71 @@ def cmd_report(args) -> int:
     for cand in candidates:
         print(f"  {cand.render()}")
     return 0
+
+
+#: the objprof gate's run matrix (check-scale workloads, enough nodes
+#: for cross-node sharing patterns to appear).
+OBJPROF_GATE_NODES = 4
+OBJPROF_GATE_RATE = 4
+#: Water-Spatial must rank at least this many distinct patterns.
+OBJPROF_MIN_PATTERNS = 3
+
+
+def run_objprof_gate(*, verbose: bool = True) -> int:
+    """The ``make objprof`` gate; returns a process exit code.
+
+    Per workload: (1) profiler-on/off byte-identity of the simulated
+    results, (2) report-twice determinism (identical JSON), and for
+    Water-Spatial (3) at least :data:`OBJPROF_MIN_PATTERNS` distinct
+    patterns ranked, every finding carrying a file:line site origin.
+    """
+    failures = []
+    for workload in sorted(WORKLOADS):
+        base = _run(workload, OBJPROF_GATE_NODES, OBJPROF_GATE_RATE, telemetry=None)
+        profiled, report = build_objprof_report(
+            workload, OBJPROF_GATE_NODES, OBJPROF_GATE_RATE
+        )
+        b, p = base.result, profiled.result
+        if (
+            b.execution_time_ms != p.execution_time_ms
+            or b.counters != p.counters
+            or b.thread_finish_ms != p.thread_finish_ms
+        ):
+            failures.append(f"{workload}: profiler-on run is not byte-identical")
+        _again, report2 = build_objprof_report(
+            workload, OBJPROF_GATE_NODES, OBJPROF_GATE_RATE
+        )
+        if report.to_json() != report2.to_json():
+            failures.append(f"{workload}: report is not deterministic across runs")
+        if not report.findings:
+            failures.append(f"{workload}: report ranked no findings")
+        missing_origin = [f.site for f in report.findings if ":" not in f.origin]
+        if missing_origin:
+            failures.append(
+                f"{workload}: findings without file:line origin: "
+                f"{sorted(set(missing_origin))}"
+            )
+        if verbose:
+            print(
+                f"objprof gate: {workload}: {len(report.findings)} finding(s), "
+                f"patterns {report.patterns_found}, "
+                f"{report.n_objects} profiled objects"
+            )
+        if workload == "water-spatial" and len(report.patterns_found) < OBJPROF_MIN_PATTERNS:
+            failures.append(
+                f"water-spatial: only {report.patterns_found} ranked; "
+                f"need >= {OBJPROF_MIN_PATTERNS} distinct patterns"
+            )
+    if failures:
+        for f in failures:
+            print(f"objprof gate FAIL: {f}", file=sys.stderr)
+        return 1
+    print("objprof gate: OK")
+    return 0
+
+
+def cmd_objprof(args) -> int:
+    return run_objprof_gate()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -299,10 +433,25 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_gate)
 
     p = sub.add_parser(
-        "report", help="static-vs-dynamic sharing comparison for one workload"
+        "report", help="ranked object-centric inefficiency report for one workload"
     )
     add_run_args(p)
+    p.add_argument("--top", type=int, default=10, help="findings shown in the table")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON feed placement.candidates consumes",
+    )
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "compare", help="static-vs-dynamic sharing comparison for one workload"
+    )
+    add_run_args(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("objprof", help="the make-objprof CI gate")
+    p.set_defaults(fn=cmd_objprof)
 
     args = parser.parse_args(argv)
     return args.fn(args)

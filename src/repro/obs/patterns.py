@@ -1,0 +1,174 @@
+"""Inefficiency pattern detectors over per-object lifetime profiles.
+
+Each detector names one way the HLRC protocol burned simulated time on
+an object and prices the waste with the same sticky-set cost model the
+migration planner uses (:func:`repro.core.costmodel.object_fault_ns`),
+so the report's "wasted ns" and the balancer's gain/cost estimates are
+in the same currency:
+
+* **ping-pong** — the writing node alternated; every alternation costs
+  the new writer a fault (fetch round trip) and, for cache writers, a
+  diff flush back home.
+* **dead-transfer** — a faulted-in copy was invalidated before a single
+  read: the fetch round trip moved bytes nobody consumed.
+* **over-invalidated** — a read-mostly object (reads ≥
+  :data:`READ_MOSTLY_RATIO` × writes) kept getting invalidated and
+  refaulted; each refault is a round trip a write-shy object should not
+  pay.
+* **contended-home** — remote access mass dwarfs the home node's; the
+  dominant remote node's faults would vanish if the object were homed
+  there (the report's ``target_node``).
+
+Detection runs at *report* time on finished
+:class:`~repro.obs.objprof.ObjLifetime` records — nothing here executes
+inside the observer hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costmodel import object_fault_ns
+
+__all__ = [
+    "PATTERNS",
+    "ObjectFinding",
+    "detect_object_patterns",
+]
+
+#: detector thresholds, deliberately module-level so ablations can tune.
+#: A single cross-node hand-off already qualifies as ping-pong: it costs
+#: a full fault round trip plus a diff flush, and it matches the static
+#: sharing analysis's multi-writer "ping-pong" class (which counts
+#: writers, not alternations) so the two feeds name the same objects.
+PING_PONG_MIN_ALTERNATIONS = 1
+READ_MOSTLY_RATIO = 2.0
+OVER_INVALIDATED_MIN_INVALIDATIONS = 2
+CONTENDED_REMOTE_RATIO = 2.0
+CONTENDED_MIN_FAULTS = 2
+
+#: diff wire overhead (mirrors repro.dsm.hlrc.DIFF_OVERHEAD; imported
+#: lazily there to keep this module import-light for report consumers).
+_DIFF_OVERHEAD = 24
+
+#: every pattern a detector can emit, in report order.
+PATTERNS = ("ping-pong", "dead-transfer", "over-invalidated", "contended-home")
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectFinding:
+    """One detected inefficiency on one object."""
+
+    pattern: str
+    obj_id: int
+    #: estimated simulated time the pattern wasted (ns).
+    wasted_ns: int
+    #: suggested home for contended-home; None otherwise.
+    target_node: int | None
+    detail: str
+
+
+def detect_object_patterns(rec, obj, costs, network) -> list[ObjectFinding]:
+    """Run every detector on one object's lifetime record.
+
+    ``rec`` is an :class:`~repro.obs.objprof.ObjLifetime`, ``obj`` the
+    GOS :class:`~repro.heap.objects.HeapObject` it profiles.  Returns
+    zero or more findings (patterns are not mutually exclusive — a
+    ping-ponging object can also be mis-homed).
+    """
+    size = obj.size_bytes
+    fault_ns = object_fault_ns(costs, network, size)
+    out: list[ObjectFinding] = []
+
+    # ping-pong: the writing node alternated; price each hand-off as a
+    # fault plus (when the writers were cache copies) the diff flush.
+    if rec.writer_alternations >= PING_PONG_MIN_ALTERNATIONS and len(rec.writer_nodes) >= 2:
+        if rec.diffs:
+            avg_dirty = rec.diff_bytes // rec.diffs
+            diff_ns = int(avg_dirty * costs.diff_ns_per_byte) + network.transfer_time_ns(
+                avg_dirty + _DIFF_OVERHEAD
+            )
+        else:
+            diff_ns = 0
+        wasted = rec.writer_alternations * (fault_ns + diff_ns)
+        out.append(
+            ObjectFinding(
+                pattern="ping-pong",
+                obj_id=obj.obj_id,
+                wasted_ns=wasted,
+                target_node=None,
+                detail=(
+                    f"{rec.writer_alternations} writer hand-offs across "
+                    f"nodes {sorted(rec.writer_nodes)}"
+                ),
+            )
+        )
+
+    # dead-transfer: copies fetched, then invalidated unread.
+    if rec.dead_transfers:
+        out.append(
+            ObjectFinding(
+                pattern="dead-transfer",
+                obj_id=obj.obj_id,
+                wasted_ns=rec.dead_transfers * fault_ns,
+                target_node=None,
+                detail=f"{rec.dead_transfers} faulted-in copies died unread",
+            )
+        )
+
+    total_reads = sum(rec.reads_by_node.values())
+    total_writes = sum(rec.writes_by_node.values())
+
+    # over-invalidated read-mostly: refaults on an object that is mostly
+    # read; each refault round trip is the invalidation's price.
+    if (
+        rec.refaults
+        and rec.invalidations >= OVER_INVALIDATED_MIN_INVALIDATIONS
+        and total_reads >= READ_MOSTLY_RATIO * max(1, total_writes)
+    ):
+        out.append(
+            ObjectFinding(
+                pattern="over-invalidated",
+                obj_id=obj.obj_id,
+                wasted_ns=rec.refaults * fault_ns,
+                target_node=None,
+                detail=(
+                    f"read-mostly ({total_reads}r/{total_writes}w) yet "
+                    f"invalidated {rec.invalidations}x, refaulted {rec.refaults}x"
+                ),
+            )
+        )
+
+    # contended-home: remote access mass dwarfs the home node's; the
+    # dominant remote node's faults vanish if the object moves there.
+    home = obj.home_node
+    home_mass = rec.reads_by_node.get(home, 0) + rec.writes_by_node.get(home, 0)
+    remote_mass = total_reads + total_writes - home_mass
+    if rec.faults >= CONTENDED_MIN_FAULTS and remote_mass >= CONTENDED_REMOTE_RATIO * max(
+        1, home_mass
+    ):
+        dominant = None
+        dominant_mass = 0
+        for node in sorted(set(rec.reads_by_node) | set(rec.writes_by_node)):
+            if node == home:
+                continue
+            mass = rec.reads_by_node.get(node, 0) + rec.writes_by_node.get(node, 0)
+            if mass > dominant_mass:
+                dominant, dominant_mass = node, mass
+        if dominant is not None:
+            saved_faults = rec.faults_by_node.get(dominant, 0)
+            if saved_faults:
+                out.append(
+                    ObjectFinding(
+                        pattern="contended-home",
+                        obj_id=obj.obj_id,
+                        wasted_ns=saved_faults * fault_ns,
+                        target_node=dominant,
+                        detail=(
+                            f"remote mass {remote_mass} vs home {home_mass} "
+                            f"(home node {home}); node {dominant} faulted "
+                            f"{saved_faults}x"
+                        ),
+                    )
+                )
+    return out

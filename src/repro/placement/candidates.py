@@ -15,13 +15,35 @@ propose the same two kinds of actions before a single op has run:
 These are *candidates*, not decisions: the static view has no access
 frequencies, so the dynamic balancer (or the operator) weighs them by
 the predicted shared bytes and confirms against measured profiles.
+
+The *dynamic* side of the same feed comes from the object-centric
+inefficiency report (:mod:`repro.obs.report`):
+:func:`candidates_from_objprof` maps its measured pattern findings onto
+candidates, and :func:`merge_candidates` folds both provenances into
+one work-list — measured evidence outranks static prediction at equal
+(kind, site, target).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["PlacementCandidate", "candidates_from_static"]
+__all__ = [
+    "PlacementCandidate",
+    "candidates_from_objprof",
+    "candidates_from_static",
+    "merge_candidates",
+]
+
+#: objprof pattern -> candidate kind.  Patterns without a placement
+#: action still enter the feed — the work-list names every measured
+#: inefficiency, and the balancer skips kinds it cannot act on.
+_PATTERN_KINDS = {
+    "contended-home": "home-migration",
+    "ping-pong": "colocate-threads",
+    "over-invalidated": "replicate-read-mostly",
+    "dead-transfer": "trim-transfers",
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,3 +137,55 @@ def candidates_from_static(report) -> list[PlacementCandidate]:
             )
         )
     return sorted(out, key=lambda c: (-c.weight, c.site, c.kind))
+
+
+def candidates_from_objprof(report) -> list[PlacementCandidate]:
+    """Derive placement candidates from the object-centric inefficiency
+    report — either an :class:`~repro.obs.report.ObjprofReport` or the
+    parsed ``python -m repro.obs report --json`` document.
+
+    Weights are the findings' estimated wasted simulated ns (measured,
+    unlike the static feed's predicted bytes), so the returned order is
+    the measured-savings order a budgeted consumer should take them in.
+    """
+    if hasattr(report, "to_json"):
+        report = report.to_json()
+    out: list[PlacementCandidate] = []
+    for finding in report.get("findings", []):
+        kind = _PATTERN_KINDS.get(finding["pattern"])
+        if kind is None:
+            continue
+        origin = finding.get("origin") or "?"
+        out.append(
+            PlacementCandidate(
+                kind=kind,
+                site=finding["site"],
+                obj_ids=tuple(finding["obj_ids"]),
+                threads=tuple(finding.get("threads", ())),
+                target_node=finding.get("target_node"),
+                weight=int(finding["wasted_ns"]),
+                reason=f"measured {finding['pattern']} at {origin}: {finding['detail']}",
+            )
+        )
+    return sorted(
+        out,
+        key=lambda c: (-c.weight, c.site, c.kind, -1 if c.target_node is None else c.target_node),
+    )
+
+
+def merge_candidates(
+    static: list[PlacementCandidate], dynamic: list[PlacementCandidate]
+) -> list[PlacementCandidate]:
+    """One feed from both provenances.
+
+    Static weights are predicted shared bytes; dynamic weights are
+    measured wasted ns — incomparable units, so the merge does not
+    re-sort across provenances.  Dynamic candidates come first (measured
+    evidence outranks prediction), each provenance keeps its own rank
+    order, and a static candidate duplicating a dynamic one's
+    (kind, site, target_node) is dropped.
+    """
+    seen = {(c.kind, c.site, c.target_node) for c in dynamic}
+    merged = list(dynamic)
+    merged.extend(c for c in static if (c.kind, c.site, c.target_node) not in seen)
+    return merged

@@ -79,6 +79,7 @@ class DJVM:
         partitions: int | None = None,
         replay: str = "vector",
         sampling_backend=None,
+        objprof: bool = False,
         validate_effects: "bool | object" = True,
     ) -> None:
         if kernel not in ("serial", "partitioned"):
@@ -133,7 +134,7 @@ class DJVM:
             metrics=metrics,
         )
         if self.telemetry is not None and self.telemetry.tracer is not None:
-            self.hlrc.tracer = self.telemetry.tracer
+            self.hlrc.attach_observer("tracer", self.telemetry.tracer)
         #: opt-in runtime protocol checker (repro.checks): asserts the
         #: HLRC state-machine invariants as the run executes, raising
         #: SanitizerViolation with the offending event trace.  Pure
@@ -144,7 +145,7 @@ class DJVM:
 
             self.sanitizer = ProtocolSanitizer()
             self.sanitizer.attach_hlrc(self.hlrc)
-            self.hlrc.sanitizer = self.sanitizer
+            self.hlrc.attach_observer("sanitizer", self.sanitizer)
         #: opt-in happens-before race detector (repro.checks.racedetect).
         #: ``True``/"raise" raises DataRaceError at the second racing
         #: access, "collect" accumulates RaceReports in
@@ -167,7 +168,17 @@ class DJVM:
                     f"got {racecheck!r}"
                 )
             self.racedetector.attach_resolver(self._class_name_of)
-            self.hlrc.racedetector = self.racedetector
+            self.hlrc.attach_observer("racedetector", self.racedetector)
+        #: opt-in object-centric inefficiency profiler (repro.obs.objprof):
+        #: folds faults/diffs/invalidations into per-allocation-site
+        #: lifetime profiles for the ranked `repro.obs report`.  Pure
+        #: observer — simulated results are byte-identical either way.
+        self.objprof = None
+        if objprof:
+            from repro.obs.objprof import ObjectProfiler
+
+            self.objprof = ObjectProfiler()
+            self.hlrc.attach_observer("objprof", self.objprof)
         self.migration = MigrationEngine(self.hlrc, self.cluster)
         if self.telemetry is not None:
             if self.telemetry.tracer is not None:

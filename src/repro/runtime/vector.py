@@ -203,6 +203,7 @@ class VectorEngine:
             hl.keep_interval_history
             or bool(hooks)
             or hl.tracer is not None
+            or hl.objprof is not None
             or bool(interp.timers)
         )
         fast = None

@@ -67,6 +67,24 @@ def test_diff_detects_drift(tmp_path, capsys):
     assert "z: None -> 4" in captured.out
 
 
+def test_diff_missing_snapshot_exits_two(tmp_path, capsys):
+    (tmp_path / "a.json").write_text(json.dumps({"x": 1}))
+    rc = main(["diff", str(tmp_path / "a.json"), str(tmp_path / "nope.json")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "cannot read snapshot" in captured.err
+    assert "nope.json" in captured.err
+
+
+def test_diff_unreadable_snapshot_exits_two(tmp_path, capsys):
+    (tmp_path / "a.json").write_text(json.dumps({"x": 1}))
+    (tmp_path / "b.json").write_text("{not json")
+    rc = main(["diff", str(tmp_path / "a.json"), str(tmp_path / "b.json")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "not valid JSON" in captured.err
+
+
 def test_diff_snapshots_helper():
     assert diff_snapshots({"a": 1}, {"a": 1}) == []
     assert diff_snapshots({"a": 1}, {"a": 2}) == ["a: 1 -> 2"]

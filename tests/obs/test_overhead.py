@@ -77,3 +77,37 @@ class TestMeasure:
         assert report.telemetry_wall_s > 0
         assert report.samples == 1  # the one counter sample
         assert report.spans == 0  # tracing off
+
+    def test_telemetry_off_baseline(self):
+        """run_telemetry returning None (telemetry genuinely off) must
+        degrade to an all-zero observation, not crash on the missing
+        context."""
+        report = measure(lambda: None, lambda: None, repeats=2)
+        assert report.observer_wall_ns == 0
+        assert report.spans == 0
+        assert report.samples == 0
+        # walls are still measured (calling a no-op costs > 0 ns).
+        assert report.base_wall_s > 0 and report.telemetry_wall_s > 0
+
+    def test_self_ns_accounting_reaches_report(self):
+        """observer_wall_ns must carry the context's self-reported host
+        ns (tracer + registry), and tracing-on runs must report spans."""
+        telemetry = Telemetry(tracing=True)
+        telemetry.tracer.add("fault", "dsm", 0, "thread0", 0, 10)
+        telemetry.registry.counter("x").inc()
+        telemetry.snapshot()  # registry self-times its snapshots
+        assert telemetry.tracer.self_ns > 0
+        assert telemetry.self_wall_ns == telemetry.tracer.self_ns + telemetry.registry.self_ns
+        report = measure(lambda: None, lambda: telemetry, repeats=1)
+        assert report.observer_wall_ns >= telemetry.tracer.self_ns
+        assert report.spans == 1
+
+    def test_zero_duration_report_is_all_zero_fractions(self):
+        """A degenerate zero-wall report (e.g. mocked timers) must keep
+        both fractions at exactly 0.0 rather than dividing by zero."""
+        report = OverheadReport(
+            base_wall_s=0.0, telemetry_wall_s=0.0, observer_wall_ns=1_000
+        )
+        assert report.overhead_frac == 0.0
+        assert report.observer_frac == 0.0
+        assert "overhead" in report.render()

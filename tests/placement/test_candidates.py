@@ -1,11 +1,17 @@
-"""Static placement candidates (:mod:`repro.placement.candidates`):
-feed shapes, ranking order, and the no-sharing edge case."""
+"""Placement candidates (:mod:`repro.placement.candidates`): the static
+and objprof feed shapes, ranking order, the merged work-list, and the
+no-sharing edge case."""
 
 from __future__ import annotations
 
 from types import SimpleNamespace
 
-from repro.placement.candidates import PlacementCandidate, candidates_from_static
+from repro.placement.candidates import (
+    PlacementCandidate,
+    candidates_from_objprof,
+    candidates_from_static,
+    merge_candidates,
+)
 
 
 def _obj(site: str, home_node: int, size_bytes: int) -> SimpleNamespace:
@@ -136,6 +142,65 @@ def test_other_classifications_are_ignored():
         node_of_thread={0: 1, 1: 1},
     )
     assert candidates_from_static(report) == []
+
+
+def _finding(pattern, site, wasted_ns, target_node=None, obj_ids=(1,), threads=(0,)):
+    return {
+        "pattern": pattern,
+        "site": site,
+        "origin": f"repro/workloads/x.py:{len(site)}",
+        "obj_ids": list(obj_ids),
+        "threads": list(threads),
+        "wasted_ns": wasted_ns,
+        "target_node": target_node,
+        "detail": "d",
+    }
+
+
+def test_objprof_findings_map_to_candidate_kinds():
+    report = {
+        "kind": "objprof-report",
+        "findings": [
+            _finding("contended-home", "a", 100, target_node=2),
+            _finding("ping-pong", "b", 300),
+            _finding("over-invalidated", "c", 200),
+            _finding("dead-transfer", "d", 50),
+        ],
+    }
+    cands = candidates_from_objprof(report)
+    # ranked by measured wasted ns, each pattern onto its action kind
+    assert [(c.kind, c.weight) for c in cands] == [
+        ("colocate-threads", 300),
+        ("replicate-read-mostly", 200),
+        ("home-migration", 100),
+        ("trim-transfers", 50),
+    ]
+    assert cands[2].target_node == 2
+    assert "measured contended-home at repro/workloads/x.py:1" in cands[2].reason
+
+
+def test_objprof_unknown_patterns_are_skipped():
+    report = {"findings": [_finding("novel-pattern", "a", 999)]}
+    assert candidates_from_objprof(report) == []
+
+
+def test_merge_puts_measured_first_and_dedupes_statics():
+    dynamic = candidates_from_objprof(
+        {"findings": [_finding("contended-home", "a", 100, target_node=2)]}
+    )
+    dup_static = PlacementCandidate(
+        kind="home-migration", site="a", obj_ids=(9,), threads=(1,),
+        target_node=2, weight=5_000, reason="predicted",
+    )
+    fresh_static = PlacementCandidate(
+        kind="colocate-threads", site="b", obj_ids=(3,), threads=(0, 1),
+        target_node=None, weight=64, reason="predicted",
+    )
+    merged = merge_candidates([dup_static, fresh_static], dynamic)
+    # measured leads, duplicate (kind, site, target) static dropped, and
+    # the surviving static keeps its own rank position after the
+    # dynamics even though its byte-weight exceeds nothing comparable.
+    assert merged == dynamic + [fresh_static]
 
 
 def test_candidate_is_hashable_and_frozen():
